@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: the phase-1 behaviour
+ * cache location, per-figure banner printing, and small formatting
+ * helpers. Each bench binary regenerates one table or figure of the
+ * paper and prints paper-vs-measured rows.
+ */
+
+#ifndef PERFORMA_BENCH_COMMON_HH
+#define PERFORMA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/behavior_db.hh"
+#include "exp/report.hh"
+#include "exp/stages.hh"
+
+namespace performa::bench {
+
+/**
+ * Where phase-1 behaviours are cached across bench binaries. First
+ * run measures (~55 fault-injection experiments); later runs reuse.
+ * Override with the PERFORMA_PHASE1_CACHE environment variable.
+ */
+inline std::string
+cachePath()
+{
+    const char *env = std::getenv("PERFORMA_PHASE1_CACHE");
+    return env ? env : "performa_phase1.csv";
+}
+
+/** Load-or-measure the full behaviour database, with progress dots. */
+inline exp::BehaviorDb
+loadBehaviors()
+{
+    exp::BehaviorDb db;
+    std::string path = cachePath();
+    std::printf("phase-1 behaviours (cache: %s)\n", path.c_str());
+    db.ensureAll(path, [](press::Version v, fault::FaultKind k,
+                          bool cached) {
+        if (!cached) {
+            std::printf("  measured %-13s x %s\n", press::versionName(v),
+                        fault::faultName(k));
+            std::fflush(stdout);
+        }
+    });
+    return db;
+}
+
+/**
+ * Run the canonical single-fault experiment for (version, fault) and
+ * print the throughput timeline plus the extracted 7-stage behaviour
+ * — the reproduction of one curve of a Figure 2-5 style plot.
+ */
+inline void
+timeline(press::Version v, fault::FaultKind k, const char *expected)
+{
+    std::printf("\n--- %s under %s ---\n", press::versionName(v),
+                fault::faultName(k));
+    std::printf("Paper behaviour: %s\n", expected);
+    exp::ExperimentConfig cfg = exp::experimentFor(v, k);
+    exp::ExperimentResult res = exp::runExperiment(cfg);
+    exp::printSeries(res, sim::sec(40), cfg.duration, sim::sec(10));
+    model::MeasuredBehavior mb = exp::extractBehavior(res, *cfg.fault);
+    exp::printBehavior(mb);
+    std::printf("  end state: %s\n",
+                res.endSplintered
+                    ? "SPLINTERED - operator reset required"
+                    : "single cooperating cluster");
+    std::fflush(stdout);
+}
+
+inline void
+banner(const char *title, const char *paper_says)
+{
+    std::printf("\n================================================="
+                "=====================\n");
+    std::printf("%s\n", title);
+    std::printf("Paper: %s\n", paper_says);
+    std::printf("==================================================="
+                "===================\n");
+}
+
+} // namespace performa::bench
+
+#endif // PERFORMA_BENCH_COMMON_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces the headline result quoted in the abstract and the
+ * conclusion: faults in a VIA-based server (switch, link and
+ * application errors) "would have to occur at approximately 4 times
+ * the rate" of a TCP-based server before the performabilities
+ * equalize.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Crossover: how much higher must VIA's fault rate be?",
+        "approximately 4x (link, switch and application faults scaled "
+        "together until VIA and TCP performability match)");
+
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const press::Version vias[] = {press::Version::ViaPress0,
+                                   press::Version::ViaPress3,
+                                   press::Version::ViaPress5};
+    const press::Version tcps[] = {press::Version::TcpPress,
+                                   press::Version::TcpPressHb};
+
+    model::ScenarioOptions base;
+    base.appMttfSec = 30 * 86400.0;
+
+    std::printf("\ncrossover factor k (VIA fault rate = k x TCP's):\n");
+    std::printf("%-14s", "");
+    for (press::Version t : tcps)
+        std::printf(" %14s", press::versionName(t));
+    std::printf("\n");
+    double sum = 0;
+    int n = 0;
+    for (press::Version v : vias) {
+        std::printf("%-14s", press::versionName(v));
+        for (press::Version t : tcps) {
+            double k = model::crossoverFactor(v, t, lookup, base);
+            std::printf(" %13.2fx", k);
+            sum += k;
+            ++n;
+        }
+        std::printf("\n");
+    }
+    std::printf("\nmean crossover factor: %.2fx (paper: ~4x)\n",
+                sum / n);
+    return 0;
+}

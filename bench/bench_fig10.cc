@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Figure 10: the combined pessimistic fault load for VIA —
+ * packet drops 1/month, extra application faults 1 per 2 weeks, and
+ * system failures 1/month, all at once.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 10: combined pessimistic fault load for VIA",
+        "under this load the performability of two of the three VIA "
+        "versions falls below TCP-PRESS-HB: the advantage of a "
+        "user-level network depends on product maturity and on the "
+        "programmers handling the exported API.");
+
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const double day = 86400.0, week = 7 * day, month = 30 * day;
+
+    std::printf("\n%-14s %14s %14s\n", "version", "same load",
+                "pessimistic");
+    for (press::Version v : press::allVersions) {
+        model::ScenarioOptions base;
+        base.appMttfSec = month;
+        model::PerfResult r0 = model::evaluateScenario(v, lookup, base);
+
+        model::ScenarioOptions pess = base;
+        if (press::isVia(v)) {
+            pess.viaPacketDropMttfSec = month;
+            pess.viaExtraAppMttfSec = 2 * week;
+            pess.viaSystemFaultMttfSec = month;
+        }
+        model::PerfResult r1 = model::evaluateScenario(v, lookup, pess);
+        std::printf("%-14s %10.0f r/s %10.0f r/s\n",
+                    press::versionName(v), r0.performability,
+                    r1.performability);
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Figure 2: throughput of PRESS when a transient link
+ * failure is injected (node 3's link to the switch, lasting its
+ * MTTR). The paper plots TCP-PRESS, TCP-PRESS-HB and VIA-PRESS-5
+ * (the other VIA versions behave like VIA-PRESS-5).
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+#include "exp/stages.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 2: transient link failure",
+        "TCP-PRESS stalls at ~0 for the whole fault and resumes; "
+        "TCP-PRESS-HB detects in 15s (3 heartbeats) and splinters 3+1 "
+        "with NO re-merge; VIA versions detect ~instantly (connection "
+        "breaks) and splinter 3+1 with NO re-merge. The splintered "
+        "versions are thus LESS available than plain TCP-PRESS for "
+        "short link faults.");
+
+    bench::timeline(press::Version::TcpPress, fault::FaultKind::LinkDown,
+                    "stall for the fault duration, then recover "
+                    "(connection abort timeout never reached)");
+    bench::timeline(press::Version::TcpPressHb,
+                    fault::FaultKind::LinkDown,
+                    "detect after 3 lost heartbeats (~15s), splinter "
+                    "into 3 cooperating nodes + 1 singleton, stay "
+                    "splintered after the link recovers");
+    bench::timeline(press::Version::ViaPress5,
+                    fault::FaultKind::LinkDown,
+                    "connections break instantly; splinter 3+1; stay "
+                    "splintered (VIA-PRESS-0/3 behave the same)");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Figure 3: throughput of PRESS when a node crash (hard
+ * reboot) is injected.
+ */
+
+#include "bench_common.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 3: node crash (hard reboot of node 3)",
+        "TCP-PRESS grinds to a halt while the node is down; the "
+        "recovered node's rejoin races crash detection and fails "
+        "(rejoin messages disregarded while the node is still a "
+        "member), so the cluster ends as 3 nodes + an independent "
+        "singleton. TCP-PRESS-HB and the VIA versions detect quickly, "
+        "run with 3 nodes, and cleanly reintegrate the node after "
+        "reboot.");
+
+    bench::timeline(press::Version::TcpPress,
+                    fault::FaultKind::NodeCrash,
+                    "halt while down; failed rejoin (the timing bug); "
+                    "3-node cluster + singleton until the operator");
+    bench::timeline(press::Version::TcpPressHb,
+                    fault::FaultKind::NodeCrash,
+                    "detect via heartbeats in ~15s, 3-node operation, "
+                    "clean rejoin after reboot");
+    bench::timeline(press::Version::ViaPress5,
+                    fault::FaultKind::NodeCrash,
+                    "instant detection via broken connections, 3-node "
+                    "operation, clean rejoin (VIA-0/3 identical)");
+    return 0;
+}

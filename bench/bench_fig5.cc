@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Figure 5: a NULL data pointer passed to the send call.
+ */
+
+#include "bench_common.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 5: NULL pointer passed to the send API on node 3",
+        "TCP detects synchronously (EFAULT) and the server fail-fasts: "
+        "one node restarts and reintegrates. VIA-PRESS-0 reports an "
+        "error-status descriptor: same one-node effect. In the remote-"
+        "write versions (VIA-PRESS-3/5) the error is reported on BOTH "
+        "nodes of the transfer, so TWO nodes terminate and restart.");
+
+    bench::timeline(press::Version::TcpPress,
+                    fault::FaultKind::BadParamNull,
+                    "EFAULT -> fail-fast -> restart -> rejoin "
+                    "(one node)");
+    bench::timeline(press::Version::ViaPress0,
+                    fault::FaultKind::BadParamNull,
+                    "descriptor error at the sender -> one node "
+                    "restarts");
+    bench::timeline(press::Version::ViaPress3,
+                    fault::FaultKind::BadParamNull,
+                    "error on both ends of the remote write -> two "
+                    "nodes restart");
+    bench::timeline(press::Version::ViaPress5,
+                    fault::FaultKind::BadParamNull,
+                    "error on both ends -> two nodes restart");
+    return 0;
+}

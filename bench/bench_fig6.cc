@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Figure 6 (and prints Table 3): modeled unavailability
+ * with per-fault breakdown (6a) and performability (6b) of the five
+ * PRESS versions under the same fault load, at application fault
+ * rates of once per day and once per month.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+namespace {
+
+void
+printTable3()
+{
+    std::printf("\nTable 3 fault load (inputs):\n");
+    model::FaultLoadParams p;
+    p.appMttfSec = 86400.0;
+    for (const auto &fc : model::table3FaultLoad(p)) {
+        std::printf("  %-18s count=%.0f  MTTF=%10.0fs  MTTR=%6.0fs\n",
+                    fc.name.c_str(), fc.count, fc.mttfSec, fc.mttrSec);
+    }
+    std::printf("  (application classes shown for 1 fault/day/node, "
+                "split 40/40/8/9/2)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 6: unavailability and performability, same fault load",
+        "(a) all three VIA versions slightly MORE available than the "
+        "TCP versions; availability uniformly terrible: ~99% at 1 app "
+        "fault/day, below 99.9% even at 1/month; process crash/hang "
+        "dominate. (b) with small availability differences, the "
+        "fastest version (VIA-PRESS-5) has the best performability.");
+
+    printTable3();
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const double day = 86400.0, month = 30 * day;
+
+    for (double app_mttf : {day, month}) {
+        std::printf("\n--- application fault rate: 1 per %s per node "
+                    "---\n",
+                    app_mttf == day ? "DAY" : "MONTH");
+        std::printf("%-14s %14s %14s %14s\n", "version",
+                    "unavailability", "availability", "performability");
+        for (press::Version v : press::allVersions) {
+            model::ScenarioOptions opts;
+            opts.appMttfSec = app_mttf;
+            model::PerfResult r =
+                model::evaluateScenario(v, lookup, opts);
+            std::printf("%-14s %14.5f %13.4f%% %11.0f r/s\n",
+                        press::versionName(v), r.unavailability,
+                        100.0 * r.availability, r.performability);
+        }
+
+        std::printf("\nper-fault contribution to unavailability "
+                    "(Figure 6a stacking):\n");
+        std::printf("%-20s", "fault");
+        for (press::Version v : press::allVersions)
+            std::printf(" %12.12s", press::versionName(v));
+        std::printf("\n");
+        // Collect breakdowns per version, keyed by class order.
+        std::vector<model::PerfResult> results;
+        for (press::Version v : press::allVersions) {
+            model::ScenarioOptions opts;
+            opts.appMttfSec = app_mttf;
+            results.push_back(model::evaluateScenario(v, lookup, opts));
+        }
+        std::size_t classes = results[0].breakdown.size();
+        for (std::size_t c = 0; c < classes; ++c) {
+            std::printf("%-20s",
+                        results[0].breakdown[c].name.c_str());
+            for (const auto &r : results)
+                std::printf(" %12.6f", r.breakdown[c].unavailability);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Figure 7: performability in the presence of transient
+ * packet drops. For TCP the drops have no effect (timeout and retry
+ * absorbs them); for VIA each drop resets the channel and is modeled
+ * as an application process crash. Rates: 1/day, 1/week, 1/month.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 7: transient packet drops (VIA only)",
+        "TCP and VIA performabilities roughly equal when the drop "
+        "rate is ~1/week; TCP wins above that rate, VIA wins below "
+        "it.");
+
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const double day = 86400.0, week = 7 * day, month = 30 * day;
+
+    std::printf("\n%-14s %14s %14s %14s %14s\n", "version", "no drops",
+                "1/day", "1/week", "1/month");
+    for (press::Version v : press::allVersions) {
+        std::printf("%-14s", press::versionName(v));
+        for (double drop_mttf : {0.0, day, week, month}) {
+            model::ScenarioOptions opts;
+            opts.appMttfSec = month;
+            opts.viaPacketDropMttfSec =
+                press::isVia(v) ? drop_mttf : 0.0;
+            model::PerfResult r =
+                model::evaluateScenario(v, lookup, opts);
+            std::printf(" %10.0f r/s", r.performability);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(rows are performability; TCP rows are flat because "
+                "retransmission absorbs drops)\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 8: performability when the VIA versions carry
+ * more software bugs (VIA's programming model is harder: manual
+ * buffer management and flow control). TCP stays at 1 application
+ * fault per month; the VIA application fault rate scales from 1/day
+ * to 1/month.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 8: extra software bugs on VIA",
+        "performability comparable when the ADDITIONAL VIA application "
+        "fault load is around 1/week; an experienced team (few added "
+        "bugs) should choose VIA, an inexperienced one TCP.");
+
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const double day = 86400.0, week = 7 * day, month = 30 * day;
+
+    std::printf("\n%-14s %14s %14s %14s %14s\n", "version", "baseline",
+                "+1/day", "+1/week", "+1/month");
+    for (press::Version v : press::allVersions) {
+        std::printf("%-14s", press::versionName(v));
+        for (double extra : {0.0, day, week, month}) {
+            model::ScenarioOptions opts;
+            opts.appMttfSec = month; // TCP baseline: 1 per month
+            opts.viaExtraAppMttfSec = press::isVia(v) ? extra : 0.0;
+            model::PerfResult r =
+                model::evaluateScenario(v, lookup, opts);
+            std::printf(" %10.0f r/s", r.performability);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

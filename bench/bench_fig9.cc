@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 9: performability with occasional system crashes
+ * in the VIA networking subsystem (immature hardware/firmware),
+ * modeled as switch crashes at rates 1/week, 1/month, 1/3-months.
+ * TCP (assumed to run over mature Gigabit Ethernet) sees none.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 9: system faults from an immature substrate (VIA only)",
+        "trade-offs mirror Figures 7/8: high system-fault rates erase "
+        "VIA's performability advantage.");
+
+    exp::BehaviorDb db = bench::loadBehaviors();
+    auto lookup = db.lookup();
+
+    const double day = 86400.0, week = 7 * day, month = 30 * day;
+
+    std::printf("\n%-14s %14s %14s %14s %14s\n", "version", "none",
+                "1/week", "1/month", "1/3months");
+    for (press::Version v : press::allVersions) {
+        std::printf("%-14s", press::versionName(v));
+        for (double sys : {0.0, week, month, 3 * month}) {
+            model::ScenarioOptions opts;
+            opts.appMttfSec = month;
+            opts.viaSystemFaultMttfSec = press::isVia(v) ? sys : 0.0;
+            model::PerfResult r =
+                model::evaluateScenario(v, lookup, opts);
+            std::printf(" %10.0f r/s", r.performability);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * event-queue throughput, Zipf sampling, LRU cache churn, TCP and VIA
+ * message round-trips, and phase-2 model evaluation. These bound how
+ * fast the fault-injection experiments run, not anything the paper
+ * measures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/performability.hh"
+#include "net/network.hh"
+#include "os/node.hh"
+#include "press/cache.hh"
+#include "proto/tcp.hh"
+#include "proto/via.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            q.scheduleIn(static_cast<sim::Tick>(i % 97), [&] { ++sink; });
+        q.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_ZipfSample(benchmark::State &state)
+{
+    sim::ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+    sim::Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(65536);
+
+static void
+BM_LruCacheChurn(benchmark::State &state)
+{
+    press::FileCache cache(1024 * 8192, 8192);
+    sim::Rng rng(7);
+    std::uint64_t evictions = 0;
+    for (auto _ : state) {
+        auto f = static_cast<sim::FileId>(rng.uniformInt(0, 4095));
+        cache.insert(f, [&](sim::FileId) { ++evictions; });
+    }
+    benchmark::DoNotOptimize(evictions);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheChurn);
+
+namespace {
+
+/** Minimal two-node world for protocol round-trip benchmarks. */
+struct TwoNodeWorld
+{
+    sim::Simulation sim{7};
+    net::Network intra{sim};
+    net::Network client{sim};
+    net::PortId p0, p1, c0, c1;
+    std::unique_ptr<osim::Node> n0, n1;
+
+    TwoNodeWorld()
+    {
+        p0 = intra.addPort();
+        p1 = intra.addPort();
+        c0 = client.addPort();
+        c1 = client.addPort();
+        n0 = std::make_unique<osim::Node>(sim, 0, intra, p0, client, c0);
+        n1 = std::make_unique<osim::Node>(sim, 1, intra, p1, client, c1);
+    }
+
+    std::unordered_map<sim::NodeId, net::PortId>
+    ports() const
+    {
+        return {{0, p0}, {1, p1}};
+    }
+};
+
+} // namespace
+
+static void
+BM_TcpMessageRoundTrip(benchmark::State &state)
+{
+    TwoNodeWorld w;
+    proto::TcpComm a(*w.n0, proto::TcpConfig{}, w.ports());
+    proto::TcpComm b(*w.n1, proto::TcpConfig{}, w.ports());
+    std::uint64_t received = 0;
+    proto::CommCallbacks cbs;
+    cbs.onMessage = [&](sim::NodeId, proto::AppMessage &&) {
+        ++received;
+    };
+    b.setCallbacks(cbs);
+    a.setCallbacks({});
+    a.start();
+    b.start();
+    a.connect(1);
+    w.sim.runUntil(sim::sec(1));
+
+    for (auto _ : state) {
+        proto::AppMessage m;
+        m.type = 1;
+        m.bytes = 8192;
+        a.send(1, std::move(m), {});
+        w.sim.events().runAll();
+    }
+    benchmark::DoNotOptimize(received);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpMessageRoundTrip);
+
+static void
+BM_ViaMessageRoundTrip(benchmark::State &state)
+{
+    TwoNodeWorld w;
+    proto::ViaComm a(*w.n0, proto::ViaConfig{}, w.ports());
+    proto::ViaComm b(*w.n1, proto::ViaConfig{}, w.ports());
+    std::uint64_t received = 0;
+    proto::CommCallbacks cbs;
+    cbs.onMessage = [&](sim::NodeId peer, proto::AppMessage &&) {
+        ++received;
+        b.consumed(peer);
+    };
+    b.setCallbacks(cbs);
+    a.setCallbacks({});
+    a.start();
+    b.start();
+    a.connect(1);
+    w.sim.runUntil(sim::sec(1));
+
+    for (auto _ : state) {
+        proto::AppMessage m;
+        m.type = 1;
+        m.bytes = 8192;
+        a.send(1, std::move(m), {});
+        w.sim.events().runAll();
+    }
+    benchmark::DoNotOptimize(received);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViaMessageRoundTrip);
+
+static void
+BM_ModelEvaluate(benchmark::State &state)
+{
+    model::FaultLoadParams params;
+    std::vector<model::FaultClass> load = model::table3FaultLoad(params);
+    model::MeasuredBehavior mb;
+    mb.normalTput = 5000;
+    mb.detected = true;
+    mb.healed = false;
+    mb.dur = {15, 10, 0, 15, 0, 0, 0};
+    mb.tput = {100, 3800, 4400, 4600, 4600, 0, 3800};
+
+    model::PerformabilityModel m(5000);
+    for (const auto &fc : load)
+        m.addFault(fc, mb);
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.evaluate());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelEvaluate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: near-peak throughput of the five
+ * PRESS versions on the 4-node cluster, fault-free, under a
+ * saturating client load.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "exp/experiment.hh"
+
+using namespace performa;
+
+int
+main()
+{
+    bench::banner("Table 1: near-peak throughput of the PRESS versions",
+                  "TCP 4965, TCP-HB 4965, VIA-0 6031, VIA-3 6221, "
+                  "VIA-5 7058 reqs/sec");
+
+    std::printf("\n%-14s %12s %18s %8s\n", "version", "paper",
+                "measured (3 seeds)", "ratio");
+    double tcp_base = 0, tcp_paper = 0;
+    for (press::Version v : press::allVersions) {
+        exp::ExperimentConfig cfg = exp::defaultExperimentConfig(v);
+        cfg.fault.reset();
+        cfg.duration = sim::sec(90);
+        // Mean +- stddev over three seeds.
+        double sum = 0, sum2 = 0;
+        const std::uint64_t seeds[] = {42, 1042, 2042};
+        for (std::uint64_t seed : seeds) {
+            cfg.seed = seed;
+            exp::ExperimentResult res = exp::runExperiment(cfg);
+            double t = res.served.meanRate(sim::sec(40), sim::sec(90));
+            sum += t;
+            sum2 += t * t;
+        }
+        double tput = sum / 3.0;
+        double var = sum2 / 3.0 - tput * tput;
+        double sd = var > 0 ? std::sqrt(var) : 0.0;
+        double paper = press::paperThroughput(v);
+        if (v == press::Version::TcpPress) {
+            tcp_base = tput;
+            tcp_paper = paper;
+        }
+        std::printf("%-14s %9.0f r/s %7.0f +- %3.0f r/s %7.3f",
+                    press::versionName(v), paper, tput, sd,
+                    tput / paper);
+        if (tcp_base > 0) {
+            std::printf("   speedup vs TCP: paper %.2fx, measured %.2fx",
+                        paper / tcp_paper, tput / tcp_base);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nShape check: TCP < VIA-0 < VIA-3 < VIA-5, zero-copy "
+                "remote writes fastest.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/fault_load.hh"
+
+namespace performa::model {
+
+namespace {
+
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+constexpr double kDay = 86400.0;
+constexpr double kWeek = 7 * kDay;
+constexpr double kMonth = 30 * kDay;
+constexpr double kYear = 365 * kDay;
+
+} // namespace
+
+double
+appFaultShare(fault::FaultKind k)
+{
+    switch (k) {
+      case fault::FaultKind::AppCrash:
+        return 0.40;
+      case fault::FaultKind::AppHang:
+        return 0.40;
+      case fault::FaultKind::BadParamNull:
+        return 0.08;
+      case fault::FaultKind::BadParamOffPtr:
+        return 0.09;
+      case fault::FaultKind::BadParamOffSize:
+        return 0.02;
+      default:
+        return 0.0;
+    }
+}
+
+std::vector<FaultClass>
+table3FaultLoad(const FaultLoadParams &p)
+{
+    std::vector<FaultClass> load;
+    double n = static_cast<double>(p.numNodes);
+
+    load.push_back({"link down", fault::FaultKind::LinkDown, n,
+                    6 * kMonth, 3 * kMinute});
+    load.push_back({"switch down", fault::FaultKind::SwitchDown, 1,
+                    kYear, kHour});
+    load.push_back({"node crash", fault::FaultKind::NodeCrash, n,
+                    2 * kWeek, 3 * kMinute});
+    load.push_back({"node freeze", fault::FaultKind::NodeFreeze, n,
+                    2 * kWeek, 3 * kMinute});
+    load.push_back({"memory pinning", fault::FaultKind::PinExhaustion, n,
+                    61 * kDay, 3 * kMinute});
+    load.push_back({"memory allocation",
+                    fault::FaultKind::KernelMemAlloc, n, 61 * kDay,
+                    3 * kMinute});
+
+    const fault::FaultKind app_kinds[] = {
+        fault::FaultKind::AppCrash,
+        fault::FaultKind::AppHang,
+        fault::FaultKind::BadParamNull,
+        fault::FaultKind::BadParamOffPtr,
+        fault::FaultKind::BadParamOffSize,
+    };
+    const char *app_names[] = {
+        "process crash", "process hang", "null pointer",
+        "off-by-N pointer", "off-by-N size",
+    };
+    for (std::size_t i = 0; i < std::size(app_kinds); ++i) {
+        double share = appFaultShare(app_kinds[i]);
+        load.push_back({app_names[i], app_kinds[i], n,
+                        p.appMttfSec / share, 3 * kMinute});
+    }
+    return load;
+}
+
+void
+scaleRates(std::vector<FaultClass> &load,
+           const std::vector<fault::FaultKind> &kinds, double k)
+{
+    if (k <= 0)
+        return;
+    for (auto &fc : load) {
+        for (auto kind : kinds) {
+            if (fc.kind == kind) {
+                fc.mttfSec /= k;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace performa::model

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fault loads: the MTTF/MTTR table of the paper (Table 3), the
+ * application-fault mix of Chillarege et al. used to split the
+ * application fault rate (40% crash / 40% hang / 8% null pointer /
+ * 9% off-by-N pointer / 2% off-by-N size), and helpers to scale and
+ * extend the load for the sensitivity scenarios of Section 6.3.
+ */
+
+#ifndef PERFORMA_CORE_FAULT_LOAD_HH
+#define PERFORMA_CORE_FAULT_LOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "faults/fault.hh"
+#include "sim/types.hh"
+
+namespace performa::model {
+
+/**
+ * One class of faults in the load: @c count identical components,
+ * each failing independently with the given MTTF, repaired in MTTR.
+ */
+struct FaultClass
+{
+    std::string name;
+    fault::FaultKind kind = fault::FaultKind::LinkDown;
+    double count = 1.0;  ///< number of components of this class
+    double mttfSec = 0.0;
+    double mttrSec = 0.0;
+
+    /** Aggregate fault rate of the class (faults/sec). */
+    double
+    rate() const
+    {
+        return mttfSec > 0 ? count / mttfSec : 0.0;
+    }
+};
+
+/** Parameters of the Table 3 load. */
+struct FaultLoadParams
+{
+    int numNodes = 4;
+    /** Per-node application fault MTTF ("once per day" ... "once per
+     *  month"); split across the five application fault classes. */
+    double appMttfSec = 86400.0;
+};
+
+/** Application-fault share (Chillarege et al. distribution). */
+double appFaultShare(fault::FaultKind k);
+
+/**
+ * Build the paper's Table 3 fault load. Durations: link 6 months /
+ * 3 min; switch 1 year / 1 hour; node crash and freeze 2 weeks /
+ * 3 min; memory pinning and allocation 61 days / 3 min; application
+ * faults split per appFaultShare with 3 min MTTR.
+ */
+std::vector<FaultClass> table3FaultLoad(const FaultLoadParams &p);
+
+/** Scale the MTTF of selected classes by 1/k (k times more faults). */
+void scaleRates(std::vector<FaultClass> &load,
+                const std::vector<fault::FaultKind> &kinds, double k);
+
+} // namespace performa::model
+
+#endif // PERFORMA_CORE_FAULT_LOAD_HH

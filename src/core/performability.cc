@@ -1,0 +1,126 @@
+#include "core/performability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace performa::model {
+
+ResolvedStages
+resolveStages(const MeasuredBehavior &mb, double mttr_sec,
+              const EnvParams &env)
+{
+    ResolvedStages r;
+    r.tput = mb.tput;
+
+    if (mb.detected) {
+        // A: fault occurrence -> detection (measured latency).
+        r.durSec[StageA] = std::min(mb.dur[StageA], mttr_sec);
+        // B: reconfiguration transient (measured).
+        r.durSec[StageB] = mb.dur[StageB];
+        // C: stable degraded regime until the component is repaired.
+        r.durSec[StageC] = std::max(
+            0.0, mttr_sec - r.durSec[StageA] - r.durSec[StageB]);
+        // D: post-recovery transient (measured).
+        r.durSec[StageD] = mb.dur[StageD];
+    } else {
+        // Never detected: the whole repair window is spent in stage A
+        // (e.g. TCP stalling through a link fault), followed by the
+        // recovery transient.
+        r.durSec[StageA] = mttr_sec;
+        r.durSec[StageB] = 0.0;
+        r.tput[StageB] = mb.tput[StageA];
+        r.durSec[StageC] = 0.0;
+        r.tput[StageC] = mb.tput[StageA];
+        r.durSec[StageD] = mb.dur[StageD];
+    }
+
+    if (mb.healed) {
+        // Stage E equals normal operation: no degraded time there.
+        r.durSec[StageE] = 0.0;
+        r.tput[StageE] = mb.normalTput;
+        r.durSec[StageF] = 0.0;
+        r.durSec[StageG] = 0.0;
+        r.tput[StageF] = 0.0;
+        r.tput[StageG] = mb.normalTput;
+    } else {
+        // The cluster stays splintered until the operator steps in.
+        r.durSec[StageE] = env.operatorResponseSec;
+        r.durSec[StageF] = env.resetDurationSec;
+        r.tput[StageF] = 0.0;
+        r.durSec[StageG] = env.warmupSec;
+        // Warm-up after reset looks like the reconfiguration
+        // transient unless phase 1 measured it directly.
+        if (r.tput[StageG] <= 0.0)
+            r.tput[StageG] = mb.tput[StageB];
+    }
+    return r;
+}
+
+double
+performabilityMetric(double tn, double aa, double ideal)
+{
+    if (aa >= 1.0)
+        aa = 1.0 - 1e-12; // perfectly available: avoid log(1) = 0
+    if (aa <= 0.0)
+        return 0.0;
+    return tn * std::log(ideal) / std::log(aa);
+}
+
+PerfResult
+PerformabilityModel::evaluate(const EnvParams &env) const
+{
+    PerfResult res;
+    res.normalTput = normalTput_;
+
+    double tn = normalTput_;
+    if (tn <= 0)
+        FATAL("PerformabilityModel needs a positive normal throughput");
+
+    double sum_w = 0.0;
+    double degraded_tput = 0.0;
+
+    for (const auto &e : entries_) {
+        ResolvedStages rs = resolveStages(e.mb, e.fc.mttrSec, env);
+        // Aggregate over all `count` components of this class.
+        double rate = e.fc.rate(); // faults per second, whole class
+        double w = rate * rs.totalDuration();
+        double t = 0.0;
+        for (int s = 0; s < numStages; ++s)
+            t += rate * rs.durSec[s] * rs.tput[s];
+
+        sum_w += w;
+        degraded_tput += t;
+
+        FaultContribution c;
+        c.name = e.fc.name;
+        c.kind = e.fc.kind;
+        c.degradedWeight = w;
+        double deficit = 0.0;
+        for (int s = 0; s < numStages; ++s)
+            deficit += rate * rs.durSec[s] *
+                       std::max(0.0, tn - rs.tput[s]);
+        c.unavailability = deficit / tn;
+        res.breakdown.push_back(std::move(c));
+    }
+
+    if (sum_w > 1.0) {
+        // The fault load saturates the model's single-fault-at-a-time
+        // assumption; clamp (the paper's loads stay far from this).
+        double scale = 1.0 / sum_w;
+        sum_w = 1.0;
+        degraded_tput *= scale;
+        for (auto &c : res.breakdown)
+            c.unavailability *= scale;
+    }
+
+    res.avgTput = (1.0 - sum_w) * tn + degraded_tput;
+    res.availability = res.avgTput / tn;
+    res.unavailability = 1.0 - res.availability;
+    res.performability = performabilityMetric(
+        tn, res.availability, env.idealAvailability);
+    return res;
+}
+
+} // namespace performa::model

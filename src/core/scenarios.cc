@@ -1,0 +1,126 @@
+#include "core/scenarios.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace performa::model {
+
+namespace {
+
+constexpr double kHourSec = 3600.0;
+constexpr double kAppMttr = 180.0;
+
+} // namespace
+
+PerformabilityModel
+buildModel(press::Version v, const BehaviorLookup &lookup,
+           const ScenarioOptions &opts)
+{
+    FaultLoadParams params;
+    params.numNodes = opts.numNodes;
+    params.appMttfSec = opts.appMttfSec;
+    std::vector<FaultClass> load = table3FaultLoad(params);
+
+    bool via = press::isVia(v);
+
+    if (via && opts.viaRateScale != 1.0) {
+        scaleRates(load,
+                   {fault::FaultKind::LinkDown,
+                    fault::FaultKind::SwitchDown,
+                    fault::FaultKind::AppCrash,
+                    fault::FaultKind::AppHang,
+                    fault::FaultKind::BadParamNull,
+                    fault::FaultKind::BadParamOffPtr,
+                    fault::FaultKind::BadParamOffSize},
+                   opts.viaRateScale);
+    }
+
+    if (via && opts.viaPacketDropMttfSec > 0.0) {
+        // Transient packet loss resets the channel: behaves like a
+        // process crash on VIA; TCP retransmission absorbs it. Drops
+        // happen per NIC/link, so the rate is per node.
+        load.push_back({"packet drop", fault::FaultKind::PacketDrop,
+                        static_cast<double>(opts.numNodes),
+                        opts.viaPacketDropMttfSec, kAppMttr});
+    }
+    if (via && opts.viaExtraAppMttfSec > 0.0) {
+        const fault::FaultKind kinds[] = {
+            fault::FaultKind::AppCrash,
+            fault::FaultKind::AppHang,
+            fault::FaultKind::BadParamNull,
+            fault::FaultKind::BadParamOffPtr,
+            fault::FaultKind::BadParamOffSize,
+        };
+        for (auto k : kinds) {
+            load.push_back({"extra app bugs", k,
+                            static_cast<double>(opts.numNodes),
+                            opts.viaExtraAppMttfSec / appFaultShare(k),
+                            kAppMttr});
+        }
+    }
+    if (via && opts.viaSystemFaultMttfSec > 0.0) {
+        // Hardware/firmware bugs in the SAN modeled as switch crashes.
+        load.push_back({"system fault", fault::FaultKind::SwitchDown,
+                        1.0, opts.viaSystemFaultMttfSec, kHourSec});
+    }
+
+    double tn = lookup(v, fault::FaultKind::AppCrash).normalTput;
+    if (tn <= 0)
+        FATAL("behaviour lookup returned no normal throughput for ",
+              press::versionName(v));
+
+    PerformabilityModel model(tn);
+    for (const auto &fc : load) {
+        // PacketDrop reuses the app-crash behaviour ("modeled as
+        // application process crashes"); for TCP it has no effect, so
+        // it is only ever added on VIA versions above.
+        fault::FaultKind behaviour_kind =
+            fc.kind == fault::FaultKind::PacketDrop
+                ? fault::FaultKind::AppCrash
+                : fc.kind;
+        model.addFault(fc, lookup(v, behaviour_kind));
+    }
+    return model;
+}
+
+PerfResult
+evaluateScenario(press::Version v, const BehaviorLookup &lookup,
+                 const ScenarioOptions &opts)
+{
+    return buildModel(v, lookup, opts).evaluate(opts.env);
+}
+
+double
+crossoverFactor(press::Version via_version, press::Version tcp_version,
+                const BehaviorLookup &lookup,
+                const ScenarioOptions &base_opts, double max_factor)
+{
+    ScenarioOptions tcp_opts = base_opts;
+    tcp_opts.viaRateScale = 1.0;
+    double p_tcp =
+        evaluateScenario(tcp_version, lookup, tcp_opts).performability;
+
+    auto p_via = [&](double k) {
+        ScenarioOptions o = base_opts;
+        o.viaRateScale = k;
+        return evaluateScenario(via_version, lookup, o).performability;
+    };
+
+    if (p_via(1.0) <= p_tcp)
+        return 1.0; // VIA never ahead to begin with
+    if (p_via(max_factor) > p_tcp)
+        return max_factor; // no crossing below the bound
+
+    double lo = 1.0, hi = max_factor;
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (p_via(mid) > p_tcp)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace performa::model

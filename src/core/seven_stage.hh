@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The 7-stage piece-wise linear model of Figure 1 in the paper: a
+ * service's throughput response to one fault is described by stages
+ *
+ *   A  degraded throughput from fault occurrence to detection,
+ *   B  transient throughput while the system reconfigures,
+ *   C  stable degraded regime until the component is repaired,
+ *   D  transient throughput right after component recovery,
+ *   E  stable regime after recovery (may stay degraded if the
+ *      service cannot heal itself),
+ *   F  throughput while an operator resets the server,
+ *   G  transient throughput right after the reset.
+ *
+ * Phase 1 measures the stage throughputs and the measurable durations
+ * (detection latency, transients); phase 2 substitutes environmental
+ * durations (MTTR, operator response time) for the rest.
+ */
+
+#ifndef PERFORMA_CORE_SEVEN_STAGE_HH
+#define PERFORMA_CORE_SEVEN_STAGE_HH
+
+#include <array>
+
+#include "sim/types.hh"
+
+namespace performa::model {
+
+/** Stage indices into the per-stage arrays. */
+enum Stage : int
+{
+    StageA = 0,
+    StageB,
+    StageC,
+    StageD,
+    StageE,
+    StageF,
+    StageG,
+};
+
+inline constexpr int numStages = 7;
+
+/** Stage letter for reports. */
+constexpr char
+stageLetter(int s)
+{
+    return static_cast<char>('A' + s);
+}
+
+/**
+ * What phase 1 measured for one (version, fault) pair.
+ *
+ * Durations for stages C, E, F and G are environmental and resolved
+ * by the phase-2 model; only the throughput levels come from the
+ * experiment for those stages.
+ */
+struct MeasuredBehavior
+{
+    /** Throughput under normal operation (requests/sec). */
+    double normalTput = 0.0;
+
+    /** Per-stage throughput levels (requests/sec). */
+    std::array<double, numStages> tput{};
+
+    /**
+     * Measured durations in seconds. Only A (detection latency), B
+     * (reconfiguration transient) and D (recovery transient) are
+     * meaningful; the rest are resolved by the model.
+     */
+    std::array<double, numStages> dur{};
+
+    /** The service noticed the fault before the component repaired. */
+    bool detected = false;
+
+    /**
+     * The service returned to normal operation by itself; when false,
+     * stage E persists at a degraded level until an operator resets
+     * the cluster (stages F and G follow).
+     */
+    bool healed = true;
+};
+
+/** Fully resolved stage durations + throughputs (phase 2). */
+struct ResolvedStages
+{
+    std::array<double, numStages> tput{};
+    std::array<double, numStages> durSec{};
+
+    /** Total degraded time per fault occurrence (seconds). */
+    double
+    totalDuration() const
+    {
+        double t = 0;
+        for (double d : durSec)
+            t += d;
+        return t;
+    }
+};
+
+} // namespace performa::model
+
+#endif // PERFORMA_CORE_SEVEN_STAGE_HH

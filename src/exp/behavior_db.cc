@@ -1,0 +1,171 @@
+#include "exp/behavior_db.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/stages.hh"
+#include "sim/logging.hh"
+
+namespace performa::exp {
+
+ExperimentConfig
+experimentFor(press::Version v, fault::FaultKind k)
+{
+    ExperimentConfig cfg = defaultExperimentConfig(v);
+    fault::FaultSpec spec;
+    spec.kind = k;
+    spec.target = 3; // never the lowest-ID node (it answers rejoins)
+    spec.injectAt = cfg.injectAt;
+
+    // Transient faults last their Table 3 MTTR so measured stage
+    // boundaries line up with the model's repair times.
+    switch (k) {
+      case fault::FaultKind::SwitchDown:
+        spec.duration = sim::hours(1);
+        break;
+      case fault::FaultKind::LinkDown:
+      case fault::FaultKind::NodeCrash:
+      case fault::FaultKind::NodeFreeze:
+      case fault::FaultKind::KernelMemAlloc:
+      case fault::FaultKind::PinExhaustion:
+      case fault::FaultKind::AppHang:
+        spec.duration = sim::minutes(3);
+        break;
+      default:
+        spec.duration = 0;
+        break;
+    }
+
+    cfg.fault = spec;
+    sim::Tick tail = sim::sec(150);
+    cfg.duration = cfg.injectAt + spec.duration + tail;
+    if (k == fault::FaultKind::AppCrash ||
+        k == fault::FaultKind::BadParamNull ||
+        k == fault::FaultKind::BadParamOffPtr ||
+        k == fault::FaultKind::BadParamOffSize ||
+        k == fault::FaultKind::PacketDrop) {
+        cfg.duration = cfg.injectAt + sim::sec(180);
+    }
+    return cfg;
+}
+
+model::MeasuredBehavior
+BehaviorDb::measure(press::Version v, fault::FaultKind k)
+{
+    ExperimentConfig cfg = experimentFor(v, k);
+    ExperimentResult res = runExperiment(cfg);
+    return extractBehavior(res, *cfg.fault);
+}
+
+void
+BehaviorDb::ensureAll(const std::string &cache_path,
+                      std::function<void(press::Version,
+                                         fault::FaultKind, bool)>
+                          progress)
+{
+    load(cache_path);
+    bool dirty = false;
+    for (press::Version v : press::allVersions) {
+        for (fault::FaultKind k : fault::allFaultKinds) {
+            bool cached = has(v, k);
+            if (!cached) {
+                set(v, k, measure(v, k));
+                dirty = true;
+            }
+            if (progress)
+                progress(v, k, cached);
+        }
+    }
+    if (dirty && !cache_path.empty())
+        save(cache_path);
+}
+
+bool
+BehaviorDb::has(press::Version v, fault::FaultKind k) const
+{
+    return rows_.count({v, k}) != 0;
+}
+
+const model::MeasuredBehavior &
+BehaviorDb::get(press::Version v, fault::FaultKind k) const
+{
+    auto it = rows_.find({v, k});
+    if (it == rows_.end())
+        FATAL("BehaviorDb: no behaviour for ", press::versionName(v),
+              " / ", fault::faultName(k));
+    return it->second;
+}
+
+void
+BehaviorDb::set(press::Version v, fault::FaultKind k,
+                const model::MeasuredBehavior &mb)
+{
+    rows_[{v, k}] = mb;
+}
+
+model::BehaviorLookup
+BehaviorDb::lookup() const
+{
+    return [this](press::Version v, fault::FaultKind k) {
+        return get(v, k);
+    };
+}
+
+bool
+BehaviorDb::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    std::getline(in, line); // header
+    while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string field;
+        auto next = [&]() {
+            std::getline(ss, field, ',');
+            return field;
+        };
+        int v = std::stoi(next());
+        int k = std::stoi(next());
+        model::MeasuredBehavior mb;
+        mb.normalTput = std::stod(next());
+        mb.detected = std::stoi(next()) != 0;
+        mb.healed = std::stoi(next()) != 0;
+        for (int s = 0; s < model::numStages; ++s)
+            mb.tput[s] = std::stod(next());
+        for (int s = 0; s < model::numStages; ++s)
+            mb.dur[s] = std::stod(next());
+        rows_[{static_cast<press::Version>(v),
+               static_cast<fault::FaultKind>(k)}] = mb;
+    }
+    return true;
+}
+
+void
+BehaviorDb::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return;
+    out << "version,fault,tn,detected,healed";
+    for (int s = 0; s < model::numStages; ++s)
+        out << ",tput" << model::stageLetter(s);
+    for (int s = 0; s < model::numStages; ++s)
+        out << ",dur" << model::stageLetter(s);
+    out << "\n";
+    for (const auto &[key, mb] : rows_) {
+        out << static_cast<int>(key.first) << ','
+            << static_cast<int>(key.second) << ',' << mb.normalTput
+            << ',' << (mb.detected ? 1 : 0) << ','
+            << (mb.healed ? 1 : 0);
+        for (int s = 0; s < model::numStages; ++s)
+            out << ',' << mb.tput[s];
+        for (int s = 0; s < model::numStages; ++s)
+            out << ',' << mb.dur[s];
+        out << "\n";
+    }
+}
+
+} // namespace performa::exp

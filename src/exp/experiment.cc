@@ -1,0 +1,142 @@
+#include "exp/experiment.hh"
+
+#include "faults/injector.hh"
+#include "sim/simulation.hh"
+
+namespace performa::exp {
+
+const char *
+markerName(MarkerKind k)
+{
+    switch (k) {
+      case MarkerKind::Inject:
+        return "inject";
+      case MarkerKind::Recover:
+        return "recover";
+      case MarkerKind::Exclude:
+        return "exclude";
+      case MarkerKind::MemberUp:
+        return "member-up";
+      case MarkerKind::FailFast:
+        return "fail-fast";
+      case MarkerKind::GiveUp:
+        return "give-up";
+      case MarkerKind::Started:
+        return "started";
+      case MarkerKind::OperatorReset:
+        return "operator-reset";
+    }
+    return "?";
+}
+
+ExperimentConfig
+defaultExperimentConfig(press::Version v)
+{
+    ExperimentConfig cfg;
+    cfg.cluster.press.version = v;
+    // Saturating open-loop load: ~15% above the version's near-peak
+    // throughput, so measured throughput tracks server capacity.
+    cfg.workload.requestRate = press::paperThroughput(v) * 1.15;
+    // Slightly larger than the 4-node aggregate cache (65536 files),
+    // like the paper's largest-working-set trace: the cooperative
+    // cache runs full, so losing cache capacity costs real misses.
+    cfg.workload.numFiles = 68000;
+    return cfg;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    sim::Simulation sim(cfg.seed);
+    press::Cluster cluster(sim, cfg.cluster);
+    wl::ClientFarm farm(sim, cluster.clientNet(),
+                        cluster.serverClientPorts(),
+                        cluster.clientMachinePorts(), cfg.workload);
+
+    ExperimentResult res;
+    res.injectAt = cfg.injectAt;
+    res.runLength = cfg.duration;
+
+    // Wire up marker collection.
+    for (std::uint32_t i = 0; i < cluster.numNodes(); ++i) {
+        press::ServerHooks hooks;
+        hooks.onExclude = [&res, &sim](sim::NodeId self,
+                                       sim::NodeId failed) {
+            res.markers.add(sim.now(), MarkerKind::Exclude, self, failed);
+        };
+        hooks.onMemberUp = [&res, &sim](sim::NodeId self,
+                                        sim::NodeId joined) {
+            res.markers.add(sim.now(), MarkerKind::MemberUp, self,
+                            joined);
+        };
+        hooks.onFailFast = [&res, &sim](sim::NodeId self,
+                                        const std::string &why) {
+            res.markers.add(sim.now(), MarkerKind::FailFast, self,
+                            sim::invalidNode, why);
+        };
+        hooks.onGiveUp = [&res, &sim](sim::NodeId self) {
+            res.markers.add(sim.now(), MarkerKind::GiveUp, self);
+        };
+        hooks.onStarted = [&res, &sim](sim::NodeId self) {
+            res.markers.add(sim.now(), MarkerKind::Started, self);
+        };
+        cluster.server(i).setHooks(hooks);
+    }
+
+    fault::Injector injector(sim, cluster);
+    injector.setEventFn([&res](sim::Tick t, const std::string &what,
+                               sim::NodeId node) {
+        MarkerKind k = what.rfind("inject", 0) == 0 ? MarkerKind::Inject
+                                                    : MarkerKind::Recover;
+        res.markers.add(t, k, node, sim::invalidNode, what);
+    });
+
+    // Bring the world up: form the cluster, pre-warm the caches to
+    // the steady-state file placement, then open the client valves.
+    cluster.startAll();
+    sim.runUntil(sim::sec(2));
+    cluster.prewarm(cfg.workload.numFiles);
+    farm.start();
+
+    if (cfg.fault) {
+        fault::FaultSpec spec = *cfg.fault;
+        spec.injectAt = cfg.injectAt;
+        injector.schedule(spec);
+    }
+
+    if (cfg.operatorResetAt) {
+        sim.schedule(*cfg.operatorResetAt, [&] {
+            res.markers.add(sim.now(), MarkerKind::OperatorReset);
+            cluster.operatorReset();
+        });
+    }
+
+    sim.runUntil(cfg.duration);
+    farm.stop();
+
+    // Copy out the series.
+    res.served = farm.served();
+    res.failed = farm.failed();
+    res.offered = farm.offered();
+
+    // Steady-state throughput just before injection (or over the
+    // second half of a fault-free run).
+    sim::Tick t_from = cfg.fault ? cfg.injectAt - sim::sec(20)
+                                 : cfg.duration / 2;
+    sim::Tick t_to = cfg.fault ? cfg.injectAt : cfg.duration;
+    res.normalThroughput = res.served.meanRate(t_from, t_to);
+
+    res.availability =
+        farm.totalOffered()
+            ? static_cast<double>(farm.totalServed()) /
+                  static_cast<double>(farm.totalOffered())
+            : 0.0;
+
+    for (std::uint32_t i = 0; i < cluster.numNodes(); ++i)
+        res.finalMembers.push_back(cluster.server(i).members().size());
+    res.endSplintered = cluster.splintered();
+
+    return res;
+}
+
+} // namespace performa::exp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Phase 1 of the methodology: run one PRESS version under a
+ * saturating client load, inject a single fault, and record the
+ * throughput/availability time series plus event markers.
+ */
+
+#ifndef PERFORMA_EXP_EXPERIMENT_HH
+#define PERFORMA_EXP_EXPERIMENT_HH
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "exp/markers.hh"
+#include "faults/fault.hh"
+#include "press/cluster.hh"
+#include "sim/time_series.hh"
+#include "workload/client_farm.hh"
+
+namespace performa::exp {
+
+/** One experiment's parameters. */
+struct ExperimentConfig
+{
+    press::ClusterConfig cluster;
+    wl::WorkloadConfig workload;
+    std::optional<fault::FaultSpec> fault;
+    sim::Tick injectAt = sim::sec(60);
+    sim::Tick duration = sim::sec(210); ///< total run length
+    std::optional<sim::Tick> operatorResetAt;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Sensible defaults for a given version: saturating offered load and
+ * a working set that exercises the cooperative cache.
+ */
+ExperimentConfig defaultExperimentConfig(press::Version v);
+
+/** Everything a phase-1 run produces. */
+struct ExperimentResult
+{
+    sim::TimeSeries served{sim::sec(1)};
+    sim::TimeSeries failed{sim::sec(1)};
+    sim::TimeSeries offered{sim::sec(1)};
+    MarkerLog markers;
+
+    /** Mean served rate in the pre-fault steady window. */
+    double normalThroughput = 0.0;
+    /** Fraction of offered requests served over the whole run. */
+    double availability = 0.0;
+    /** Cooperating-set sizes per server at the end of the run. */
+    std::vector<std::size_t> finalMembers;
+    /** Live servers no longer form one cooperating cluster. */
+    bool endSplintered = false;
+    sim::Tick runLength = 0;
+    sim::Tick injectAt = 0;
+
+    /** Mean served rate over [from, to). */
+    double
+    meanRate(sim::Tick from, sim::Tick to) const
+    {
+        return served.meanRate(from, to);
+    }
+};
+
+/**
+ * Build the world, warm it, drive it, inject, record. One call = one
+ * fault-injection experiment, as in Section 5 of the paper.
+ */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+} // namespace performa::exp
+
+#endif // PERFORMA_EXP_EXPERIMENT_HH

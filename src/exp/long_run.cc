@@ -1,0 +1,180 @@
+#include "exp/long_run.hh"
+
+#include "core/performability.hh"
+#include "exp/stages.hh"
+#include "faults/injector.hh"
+#include "sim/simulation.hh"
+#include "workload/client_farm.hh"
+
+namespace performa::exp {
+
+std::vector<ValidationFault>
+defaultValidationLoad(double scale)
+{
+    // Self-healing faults plus one splinter-inducing class, so the
+    // operator stages get exercised too. MTTFs are per node. At
+    // scale 1 the total degraded weight stays small (the model's
+    // valid regime); larger scales push into fault overlap, where the
+    // single-fault-at-a-time assumption visibly breaks.
+    return {
+        {fault::FaultKind::AppCrash, 7200.0 / scale, sim::sec(12)},
+        {fault::FaultKind::AppHang, 7200.0 / scale, sim::sec(30)},
+        {fault::FaultKind::KernelMemAlloc, 10800.0 / scale,
+         sim::sec(30)},
+        {fault::FaultKind::LinkDown, 14400.0 / scale, sim::sec(30)},
+    };
+}
+
+namespace {
+
+/**
+ * Measure the single-fault behaviour of @p vf for @p version at the
+ * validation durations (not the canonical Table 3 MTTRs).
+ */
+model::MeasuredBehavior
+measureFor(press::Version version, const ValidationFault &vf,
+           bool robust_membership)
+{
+    ExperimentConfig cfg = defaultExperimentConfig(version);
+    cfg.cluster.press.robustMembership = robust_membership;
+    fault::FaultSpec spec;
+    spec.kind = vf.kind;
+    spec.target = 3;
+    spec.injectAt = cfg.injectAt;
+    spec.duration = vf.duration;
+    cfg.fault = spec;
+    cfg.duration = cfg.injectAt + vf.duration + sim::sec(120);
+    ExperimentResult res = runExperiment(cfg);
+    return extractBehavior(res, spec);
+}
+
+/** Model MTTR of a validation fault (seconds). */
+double
+mttrOf(const ValidationFault &vf)
+{
+    if (fault::hasDuration(vf.kind))
+        return sim::toSeconds(vf.duration);
+    // App crash: repair = daemon restart (plus a beat to rejoin).
+    return 12.0;
+}
+
+} // namespace
+
+LongRunResult
+validateModel(const LongRunConfig &cfg)
+{
+    LongRunResult out;
+
+    // ---- Phase 1 + 2: per-fault behaviours and the prediction. ----
+    std::vector<model::MeasuredBehavior> behaviors;
+    for (const auto &vf : cfg.faults)
+        behaviors.push_back(
+            measureFor(cfg.version, vf, cfg.robustMembership));
+
+    double tn = behaviors.front().normalTput;
+    out.normalTput = tn;
+
+    model::EnvParams env;
+    env.operatorResponseSec = sim::toSeconds(cfg.operatorResponse);
+    env.resetDurationSec = 5.0;
+    env.warmupSec = 10.0;
+
+    model::PerformabilityModel pmodel(tn);
+    for (std::size_t i = 0; i < cfg.faults.size(); ++i) {
+        const auto &vf = cfg.faults[i];
+        model::FaultClass fc;
+        fc.name = fault::faultName(vf.kind);
+        fc.kind = vf.kind;
+        fc.count = 4.0;
+        fc.mttfSec = vf.mttfPerNodeSec;
+        fc.mttrSec = mttrOf(vf);
+        pmodel.addFault(fc, behaviors[i]);
+    }
+    model::PerfResult prediction = pmodel.evaluate(env);
+    out.predictedAvailability = prediction.availability;
+    for (const auto &c : prediction.breakdown)
+        out.sumDegradedWeight += c.degradedWeight;
+
+    // ---- The long run: a fault storm against the live cluster. ----
+    sim::Simulation sim(cfg.seed);
+    press::ClusterConfig ccfg;
+    ccfg.press.version = cfg.version;
+    ccfg.press.robustMembership = cfg.robustMembership;
+    press::Cluster cluster(sim, ccfg);
+
+    wl::WorkloadConfig wcfg;
+    wcfg.requestRate = press::paperThroughput(cfg.version) * 1.15;
+    wcfg.numFiles = 68000;
+    wl::ClientFarm farm(sim, cluster.clientNet(),
+                        cluster.serverClientPorts(),
+                        cluster.clientMachinePorts(), wcfg);
+
+    fault::Injector injector(sim, cluster);
+
+    cluster.startAll();
+    sim.runUntil(sim::sec(2));
+    cluster.prewarm(wcfg.numFiles);
+    farm.start();
+
+    const sim::Tick warmup = sim::sec(20);
+    const sim::Tick horizon = cfg.duration;
+
+    // Per-class Poisson arrival processes over the 4 nodes.
+    std::uint64_t faults = 0;
+    std::function<void(std::size_t)> arm = [&](std::size_t idx) {
+        const ValidationFault &vf = cfg.faults[idx];
+        sim::Tick mean = static_cast<sim::Tick>(
+            vf.mttfPerNodeSec / 4.0 * 1e6);
+        sim::Tick gap = sim.rng().exponential(mean);
+        sim.scheduleIn(gap, [&, idx] {
+            if (sim.now() >= horizon)
+                return;
+            fault::FaultSpec spec;
+            spec.kind = cfg.faults[idx].kind;
+            spec.target = static_cast<sim::NodeId>(
+                sim.rng().uniformInt(0, 3));
+            spec.injectAt = sim.now();
+            spec.duration = cfg.faults[idx].duration;
+            injector.injectNow(spec);
+            ++faults;
+            arm(idx);
+        });
+    };
+    for (std::size_t i = 0; i < cfg.faults.size(); ++i)
+        arm(i);
+
+    // Operator watchdog: reset a persistently splintered cluster.
+    sim::Tick splintered_since = 0;
+    std::uint64_t resets = 0;
+    std::function<void()> watchdog = [&] {
+        if (sim.now() < horizon) {
+            if (!cluster.splintered()) {
+                splintered_since = 0;
+            } else {
+                if (splintered_since == 0)
+                    splintered_since = sim.now();
+                else if (sim.now() - splintered_since >=
+                         cfg.operatorResponse) {
+                    cluster.operatorReset();
+                    splintered_since = 0;
+                    ++resets;
+                }
+            }
+            sim.scheduleIn(sim::sec(5), watchdog);
+        }
+    };
+    sim.scheduleIn(sim::sec(5), watchdog);
+
+    sim.runUntil(horizon);
+    farm.stop();
+
+    out.faultsInjected = faults;
+    out.operatorResets = resets;
+    double long_run_tput = farm.served().meanRate(warmup, horizon);
+    out.measuredAvailability = tn > 0 ? long_run_tput / tn : 0.0;
+    if (out.measuredAvailability > 1.0)
+        out.measuredAvailability = 1.0;
+    return out;
+}
+
+} // namespace performa::exp

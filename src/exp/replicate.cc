@@ -1,0 +1,65 @@
+#include "exp/replicate.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace performa::exp {
+
+BehaviorEnsemble
+replicateBehavior(ExperimentConfig cfg,
+                  const std::vector<std::uint64_t> &seeds,
+                  const ExtractionParams &params)
+{
+    if (seeds.empty())
+        FATAL("replicateBehavior needs at least one seed");
+    if (!cfg.fault)
+        FATAL("replicateBehavior needs a fault to inject");
+
+    BehaviorEnsemble out;
+    out.runs = static_cast<int>(seeds.size());
+
+    std::vector<model::MeasuredBehavior> all;
+    all.reserve(seeds.size());
+    for (std::uint64_t seed : seeds) {
+        cfg.seed = seed;
+        ExperimentResult res = runExperiment(cfg);
+        all.push_back(extractBehavior(res, *cfg.fault, params));
+    }
+
+    double n = static_cast<double>(all.size());
+    for (const auto &mb : all) {
+        out.mean.normalTput += mb.normalTput / n;
+        for (int s = 0; s < model::numStages; ++s) {
+            auto i = static_cast<std::size_t>(s);
+            out.mean.tput[i] += mb.tput[i] / n;
+            out.mean.dur[i] += mb.dur[i] / n;
+        }
+        out.detectedVotes += mb.detected ? 1 : 0;
+        out.healedVotes += mb.healed ? 1 : 0;
+    }
+    out.mean.detected = out.detectedVotes * 2 > out.runs;
+    out.mean.healed = out.healedVotes * 2 > out.runs;
+
+    if (all.size() > 1) {
+        double tn_m2 = 0;
+        std::array<double, model::numStages> m2{};
+        for (const auto &mb : all) {
+            double d = mb.normalTput - out.mean.normalTput;
+            tn_m2 += d * d;
+            for (int s = 0; s < model::numStages; ++s) {
+                auto i = static_cast<std::size_t>(s);
+                double ds = mb.tput[i] - out.mean.tput[i];
+                m2[i] += ds * ds;
+            }
+        }
+        out.tnStddev = std::sqrt(tn_m2 / (n - 1));
+        for (int s = 0; s < model::numStages; ++s) {
+            auto i = static_cast<std::size_t>(s);
+            out.tputStddev[i] = std::sqrt(m2[i] / (n - 1));
+        }
+    }
+    return out;
+}
+
+} // namespace performa::exp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multi-seed replication of phase-1 experiments: repeat the same
+ * fault injection under different random seeds and aggregate the
+ * extracted behaviours (mean levels, dispersion, outcome votes).
+ * Scientific hygiene for anything quoted from a single run.
+ */
+
+#ifndef PERFORMA_EXP_REPLICATE_HH
+#define PERFORMA_EXP_REPLICATE_HH
+
+#include <array>
+#include <vector>
+
+#include "exp/stages.hh"
+
+namespace performa::exp {
+
+/** Aggregated behaviour over several seeds. */
+struct BehaviorEnsemble
+{
+    /** Field-wise mean behaviour; detected/healed by majority vote. */
+    model::MeasuredBehavior mean;
+    /** Per-stage throughput standard deviation (req/s). */
+    std::array<double, model::numStages> tputStddev{};
+    double tnStddev = 0.0;
+    int runs = 0;
+    int detectedVotes = 0;
+    int healedVotes = 0;
+
+    /** Every seed agreed on the qualitative outcome. */
+    bool
+    unanimous() const
+    {
+        return (detectedVotes == 0 || detectedVotes == runs) &&
+               (healedVotes == 0 || healedVotes == runs);
+    }
+};
+
+/**
+ * Run @p cfg once per seed and aggregate. @p cfg.seed is overridden
+ * by each entry of @p seeds.
+ */
+BehaviorEnsemble replicateBehavior(ExperimentConfig cfg,
+                                   const std::vector<std::uint64_t>
+                                       &seeds,
+                                   const ExtractionParams &params = {});
+
+} // namespace performa::exp
+
+#endif // PERFORMA_EXP_REPLICATE_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text reporting for benches and examples: per-second throughput
+ * series (the paper's Figures 2-5), stage tables, and paper-vs-
+ * measured comparison rows.
+ */
+
+#ifndef PERFORMA_EXP_REPORT_HH
+#define PERFORMA_EXP_REPORT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/seven_stage.hh"
+#include "exp/experiment.hh"
+
+namespace performa::exp {
+
+/**
+ * Print the served-throughput series between @p from and @p to with
+ * @p step-second resolution, one "t  tput" row per line plus a coarse
+ * ASCII bar, and inline marker annotations.
+ */
+void printSeries(const ExperimentResult &res, sim::Tick from,
+                 sim::Tick to, sim::Tick step = sim::sec(5),
+                 std::FILE *out = stdout);
+
+/** Print the markers of a run. */
+void printMarkers(const ExperimentResult &res, std::FILE *out = stdout);
+
+/** Print an extracted 7-stage behaviour. */
+void printBehavior(const model::MeasuredBehavior &mb,
+                   std::FILE *out = stdout);
+
+/**
+ * Dump the run's per-second served/failed/offered series to a CSV
+ * file (columns: t_sec, served, failed, offered) for external
+ * plotting. @return false if the file could not be written.
+ */
+bool writeSeriesCsv(const ExperimentResult &res,
+                    const std::string &path);
+
+} // namespace performa::exp
+
+#endif // PERFORMA_EXP_REPORT_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Mechanized phase-1 analysis: map an experiment's throughput series
+ * and markers onto the 7-stage model (what the paper's evaluators did
+ * by reading graphs and logs).
+ */
+
+#ifndef PERFORMA_EXP_STAGES_HH
+#define PERFORMA_EXP_STAGES_HH
+
+#include "core/seven_stage.hh"
+#include "exp/experiment.hh"
+#include "faults/fault.hh"
+
+namespace performa::exp {
+
+/** Windows used when reading stages off the series. */
+struct ExtractionParams
+{
+    sim::Tick reconfigTransient = sim::sec(10); ///< stage-B window
+    sim::Tick recoveryTransient = sim::sec(15); ///< stage-D window
+    double healedThreshold = 0.93; ///< stage E >= this fraction of Tn
+};
+
+/**
+ * Extract the measured behaviour of one (version, fault) experiment.
+ * @p spec must be the fault that was injected.
+ */
+model::MeasuredBehavior extractBehavior(const ExperimentResult &res,
+                                        const fault::FaultSpec &spec,
+                                        const ExtractionParams &p = {});
+
+} // namespace performa::exp
+
+#endif // PERFORMA_EXP_STAGES_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The fault menu of the study (Table 2 of the paper), plus the
+ * transient-packet-drop fault used in the sensitivity analysis of
+ * Section 6.3.
+ */
+
+#ifndef PERFORMA_FAULTS_FAULT_HH
+#define PERFORMA_FAULTS_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace performa::fault {
+
+/** Every fault the injector can apply. */
+enum class FaultKind
+{
+    // Network hardware (fail-stop)
+    LinkDown,      ///< a node's link to the switch goes dark
+    SwitchDown,    ///< the intra-cluster switch goes dark
+
+    // Node
+    NodeCrash,     ///< hard reboot
+    NodeFreeze,    ///< OS hang; NIC hardware stays alive
+
+    // Resource exhaustion
+    KernelMemAlloc, ///< skbuf allocations fail
+    PinExhaustion,  ///< pinnable-page threshold drops
+
+    // Application
+    AppCrash,       ///< SIGKILL; daemon restarts the process
+    AppHang,        ///< SIGSTOP ... SIGCONT
+    BadParamNull,   ///< NULL data pointer into send()
+    BadParamOffPtr, ///< off-by-N data pointer
+    BadParamOffSize,///< off-by-N buffer size
+
+    // Sensitivity scenarios (Section 6.3)
+    PacketDrop,     ///< transient SAN packet loss: fatal on VIA, a
+                    ///< no-op for TCP (absorbed by retransmission)
+};
+
+/** All injectable kinds, in Table 2 order. */
+inline constexpr FaultKind allFaultKinds[] = {
+    FaultKind::LinkDown,       FaultKind::SwitchDown,
+    FaultKind::NodeCrash,      FaultKind::NodeFreeze,
+    FaultKind::KernelMemAlloc, FaultKind::PinExhaustion,
+    FaultKind::AppCrash,       FaultKind::AppHang,
+    FaultKind::BadParamNull,   FaultKind::BadParamOffPtr,
+    FaultKind::BadParamOffSize,
+};
+
+/** Human-readable fault name. */
+const char *faultName(FaultKind k);
+
+/** @return true when the fault has a duration (transient component). */
+bool hasDuration(FaultKind k);
+
+/** One injection: what, where, when, and for how long. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LinkDown;
+    sim::NodeId target = 3;       ///< victim node (ignored for switch)
+    sim::Tick injectAt = sim::sec(60);
+    sim::Tick duration = sim::sec(120); ///< transient faults only
+    std::uint64_t pinLimitBytes = 32ull << 20;  ///< PinExhaustion
+    int offByN = 16;              ///< bad-parameter offset (0-100)
+};
+
+} // namespace performa::fault
+
+#endif // PERFORMA_FAULTS_FAULT_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of transfer on the simulated fabric. Protocol stacks wrap
+ * application messages into frames; the network only looks at sizes
+ * and endpoints.
+ */
+
+#ifndef PERFORMA_NET_FRAME_HH
+#define PERFORMA_NET_FRAME_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace performa::net {
+
+/** Which stack a delivered frame should be demultiplexed to. */
+enum class Proto : std::uint8_t
+{
+    Tcp,      ///< reliable byte-stream segments
+    Datagram, ///< unreliable datagrams (heartbeats)
+    Via,      ///< VIA send/receive and RDMA packets
+    Client,   ///< client-server HTTP traffic (ideal network)
+};
+
+/**
+ * One frame in flight. @c payload is a type-erased handle to whatever
+ * the sending stack attached (an application message, a descriptor,
+ * ...); the receiving stack knows the concrete type from @c kind.
+ */
+struct Frame
+{
+    std::uint32_t srcPort = 0;  ///< sending network port
+    std::uint32_t dstPort = 0;  ///< receiving network port
+    Proto proto = Proto::Tcp;   ///< demux target on the receiver
+    std::uint32_t kind = 0;     ///< stack-private frame type
+    std::uint64_t conn = 0;     ///< stack-private channel identifier
+    std::uint64_t bytes = 0;    ///< wire size, drives serialization
+    std::uint64_t seq = 0;      ///< stack-private sequence number
+    bool corrupted = false;     ///< payload bytes are garbage
+    std::shared_ptr<void> payload; ///< type-erased content
+};
+
+} // namespace performa::net
+
+#endif // PERFORMA_NET_FRAME_HH

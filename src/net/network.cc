@@ -1,0 +1,109 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace performa::net {
+
+Network::Network(sim::Simulation &s, NetworkConfig cfg)
+    : sim_(s), cfg_(cfg)
+{
+}
+
+PortId
+Network::addPort()
+{
+    ports_.emplace_back();
+    return static_cast<PortId>(ports_.size() - 1);
+}
+
+void
+Network::setHandler(PortId port, Handler h)
+{
+    ports_.at(port).handler = std::move(h);
+}
+
+void
+Network::setPortUp(PortId port, bool up)
+{
+    ports_.at(port).up = up;
+}
+
+void
+Network::setLinkUp(PortId port, bool up)
+{
+    ports_.at(port).linkUp = up;
+}
+
+void
+Network::setSwitchUp(bool up)
+{
+    switchUp_ = up;
+}
+
+sim::Tick
+Network::txTime(std::uint64_t bytes) const
+{
+    double us = static_cast<double>(bytes) / cfg_.bytesPerUsec;
+    sim::Tick t = static_cast<sim::Tick>(us);
+    return t == 0 ? 1 : t;
+}
+
+void
+Network::send(Frame &&frame, Outcome outcome)
+{
+    Port &src = ports_.at(frame.srcPort);
+    Port &dst = ports_.at(frame.dstPort);
+
+    sim::Tick now = sim_.now();
+    bool path_ok = src.up && src.linkUp && switchUp_ && dst.linkUp &&
+                   dst.up;
+
+    if (!path_ok) {
+        ++dropped_;
+        if (outcome) {
+            // Hardware-ack timeout: the sender-side NIC learns of the
+            // loss after a short round-trip-scale delay.
+            sim::Tick when = now + 2 * cfg_.linkLatency +
+                             cfg_.switchLatency + sim::usec(20);
+            sim_.schedule(when,
+                          [cb = std::move(outcome)] { cb(false); });
+        }
+        return;
+    }
+
+    // Uplink serialization, store-and-forward, downlink serialization.
+    sim::Tick ser = txTime(frame.bytes);
+    sim::Tick tx_start = std::max(now, src.txBusyUntil);
+    sim::Tick tx_done = tx_start + ser;
+    src.txBusyUntil = tx_done;
+
+    sim::Tick at_switch = tx_done + cfg_.linkLatency + cfg_.switchLatency;
+    sim::Tick rx_start = std::max(at_switch, dst.rxBusyUntil);
+    sim::Tick rx_done = rx_start + ser + cfg_.linkLatency;
+    dst.rxBusyUntil = rx_done;
+
+    PortId dst_port = frame.dstPort;
+    sim_.schedule(rx_done,
+        [this, dst_port, f = std::move(frame),
+         cb = std::move(outcome)]() mutable {
+            Port &d = ports_.at(dst_port);
+            // Re-check the receiving side: components that died while
+            // the frame was in flight still cause a loss.
+            if (!d.up || !d.linkUp || !switchUp_) {
+                ++dropped_;
+                if (cb)
+                    cb(false);
+                return;
+            }
+            ++delivered_;
+            if (d.handler)
+                d.handler(std::move(f));
+            if (cb)
+                cb(true);
+        });
+}
+
+} // namespace performa::net

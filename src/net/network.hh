@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A star-topology network: every port hangs off one central switch via
+ * a full-duplex link. This is the shape of the paper's testbed (a
+ * Giganet cLAN switch connecting four server nodes and the client
+ * machines).
+ *
+ * Fault hooks: each port's link can be cut, the switch can be taken
+ * down, and each port (i.e. its host node) can be powered off. Frames
+ * that meet a down component are dropped; the sender may register an
+ * outcome callback, which models NIC-level (hardware) acknowledgement
+ * for SAN-style fabrics. Stacks that should not get free drop
+ * information (TCP) simply ignore the callback and run their own
+ * timers.
+ */
+
+#ifndef PERFORMA_NET_NETWORK_HH
+#define PERFORMA_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/frame.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace performa::net {
+
+/** Index of a port on a Network. */
+using PortId = std::uint32_t;
+
+/**
+ * Fabric parameters. Defaults approximate a 1 Gb/s cLAN: ~5 us
+ * end-to-end latency and 125 bytes/us of link bandwidth.
+ */
+struct NetworkConfig
+{
+    sim::Tick linkLatency = sim::usec(3);   ///< per-link propagation
+    sim::Tick switchLatency = sim::usec(1); ///< store-and-forward cost
+    double bytesPerUsec = 125.0;            ///< link bandwidth
+};
+
+/**
+ * The simulated fabric. One instance is used (faultable) for
+ * intra-cluster traffic and a second (never faulted) for
+ * client-server traffic, mirroring how Mendosus distinguishes the two
+ * classes when injecting network faults.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(Frame &&)>;
+    using Outcome = std::function<void(bool delivered)>;
+
+    Network(sim::Simulation &s, NetworkConfig cfg = {});
+
+    /** Add a port; returns its id (sequential from 0). */
+    PortId addPort();
+
+    /** Install the delivery handler for @p port. */
+    void setHandler(PortId port, Handler h);
+
+    /** Power a port's host up or down (node crash / reboot). */
+    void setPortUp(PortId port, bool up);
+
+    /** Cut or restore the link between @p port and the switch. */
+    void setLinkUp(PortId port, bool up);
+
+    /** Take the central switch down or bring it back. */
+    void setSwitchUp(bool up);
+
+    bool portUp(PortId port) const { return ports_.at(port).up; }
+    bool linkUp(PortId port) const { return ports_.at(port).linkUp; }
+    bool switchUp() const { return switchUp_; }
+
+    /**
+     * Inject @p frame from @p frame.srcPort toward @p frame.dstPort.
+     *
+     * The frame's fate is decided from the component states along the
+     * path at transmission time; @p outcome (if any) fires with
+     * delivered=true at delivery or delivered=false shortly after the
+     * drop (hardware-ack timeout).
+     */
+    void send(Frame &&frame, Outcome outcome = {});
+
+    /** Frames dropped so far (for tests and stats). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Frames delivered so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    struct Port
+    {
+        bool up = true;
+        bool linkUp = true;
+        sim::Tick txBusyUntil = 0; ///< uplink serialization horizon
+        sim::Tick rxBusyUntil = 0; ///< downlink serialization horizon
+        Handler handler;
+    };
+
+    /** Serialization delay for @p bytes on one link. */
+    sim::Tick txTime(std::uint64_t bytes) const;
+
+    sim::Simulation &sim_;
+    NetworkConfig cfg_;
+    std::vector<Port> ports_;
+    bool switchUp_ = true;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace performa::net
+
+#endif // PERFORMA_NET_NETWORK_HH

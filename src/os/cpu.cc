@@ -1,0 +1,56 @@
+#include "os/cpu.hh"
+
+#include <utility>
+
+namespace performa::osim {
+
+void
+Cpu::exec(sim::Tick cost, std::function<void()> done)
+{
+    queue_.push_back(Item{cost, std::move(done)});
+    maybeStart();
+}
+
+void
+Cpu::pause()
+{
+    ++pauseCount_;
+}
+
+void
+Cpu::resume()
+{
+    if (pauseCount_ > 0)
+        --pauseCount_;
+    maybeStart();
+}
+
+void
+Cpu::clear()
+{
+    queue_.clear();
+    ++generation_; // orphan any in-flight completion
+    running_ = false;
+}
+
+void
+Cpu::maybeStart()
+{
+    if (running_ || pauseCount_ > 0 || queue_.empty())
+        return;
+    running_ = true;
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    std::uint64_t gen = generation_;
+    sim_.scheduleIn(item.cost,
+        [this, gen, cost = item.cost, done = std::move(item.done)] {
+            if (gen != generation_)
+                return; // cleared (node crashed) while in flight
+            busyTime_ += cost;
+            running_ = false;
+            done();
+            maybeStart();
+        });
+}
+
+} // namespace performa::osim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Serially-executing CPU model. PRESS is structured around one main
+ * coordinating thread per node; the Cpu models that thread's execution
+ * time: work items are charged a cost in microseconds and complete in
+ * FIFO order. Pausing the Cpu models blocking (a send with no buffer
+ * space), SIGSTOP, and node freezes.
+ */
+
+#ifndef PERFORMA_OS_CPU_HH
+#define PERFORMA_OS_CPU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace performa::osim {
+
+/**
+ * A single execution lane with a FIFO run queue.
+ *
+ * Work submitted while the lane is busy or paused waits; throughput
+ * under saturation therefore emerges naturally from per-item costs.
+ */
+class Cpu
+{
+  public:
+    explicit Cpu(sim::Simulation &s) : sim_(s) {}
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /**
+     * Queue a work item costing @p cost microseconds; @p done runs
+     * when the item retires.
+     */
+    void exec(sim::Tick cost, std::function<void()> done);
+
+    /**
+     * Suspend processing. Pauses nest (a node freeze on top of a
+     * blocked send requires two resumes). The in-flight item, if any,
+     * is allowed to retire.
+     */
+    void pause();
+
+    /** Undo one pause(). */
+    void resume();
+
+    /** Drop all queued work and any in-flight item (node crash). */
+    void clear();
+
+    bool paused() const { return pauseCount_ > 0; }
+    bool idle() const { return !running_ && queue_.empty(); }
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** Total microseconds of work retired (utilization accounting). */
+    sim::Tick busyTime() const { return busyTime_; }
+
+  private:
+    struct Item
+    {
+        sim::Tick cost;
+        std::function<void()> done;
+    };
+
+    /** Start the next item if the lane is free. */
+    void maybeStart();
+
+    sim::Simulation &sim_;
+    std::deque<Item> queue_;
+    bool running_ = false;
+    int pauseCount_ = 0;
+    std::uint64_t generation_ = 0; ///< invalidates in-flight completions
+    sim::Tick busyTime_ = 0;
+};
+
+} // namespace performa::osim
+
+#endif // PERFORMA_OS_CPU_HH

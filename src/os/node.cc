@@ -1,0 +1,164 @@
+#include "os/node.hh"
+
+#include "sim/logging.hh"
+
+namespace performa::osim {
+
+Node::Node(sim::Simulation &s, sim::NodeId id, net::Network &intra_net,
+           net::PortId intra_port, net::Network &client_net,
+           net::PortId client_port, NodeConfig cfg)
+    : sim_(s), id_(id), intraNet_(intra_net), intraPort_(intra_port),
+      clientNet_(client_net), clientPort_(client_port), cfg_(cfg),
+      cpu_(s), kernelMem_(cfg.kernelMemBytes), pins_(cfg.pinLimitBytes)
+{
+}
+
+void
+Node::setPorts(bool up)
+{
+    intraNet_.setPortUp(intraPort_, up);
+    clientNet_.setPortUp(clientPort_, up);
+}
+
+void
+Node::crash(sim::Tick downtime)
+{
+    if (state_ == State::Down)
+        return;
+    sim::Trace::log(sim_.now(), "node", "node ", id_, " crashed (down ",
+                    sim::toSeconds(downtime), "s)");
+    if (state_ == State::Frozen) {
+        // Crashing while frozen: the pending unfreeze event will see
+        // the node rebooted and do nothing, so undo the freeze's CPU
+        // pause here or it would leak past the reboot.
+        cpu_.resume();
+    }
+    state_ = State::Down;
+    setPorts(false);
+    cpu_.clear();
+    cpu_.pause(); // nothing executes while down
+    kernelMem_.reset();
+    pins_.reset();
+    if (service_ && service_->alive())
+        service_->terminate(/*silent=*/true);
+    for (auto &fn : crashFns_)
+        fn();
+    sim_.scheduleIn(downtime, [this] { reboot(); });
+}
+
+void
+Node::reboot()
+{
+    sim::Trace::log(sim_.now(), "node", "node ", id_, " rebooted");
+    ++incarnation_;
+    state_ = State::Up;
+    setPorts(true);
+    cpu_.resume();
+    for (auto &fn : rebootFns_)
+        fn();
+    // Mendosus starts another PRESS process automatically after boot.
+    if (service_) {
+        sim_.scheduleIn(cfg_.serviceStartDelay, [this] {
+            if (state_ == State::Up && service_ && !service_->alive())
+                service_->start();
+        });
+    }
+}
+
+void
+Node::freeze(sim::Tick duration)
+{
+    if (state_ != State::Up)
+        return;
+    sim::Trace::log(sim_.now(), "node", "node ", id_, " froze (",
+                    sim::toSeconds(duration), "s)");
+    state_ = State::Frozen;
+    cpu_.pause();
+    for (auto &fn : freezeFns_)
+        fn();
+    sim_.scheduleIn(duration, [this] {
+        if (state_ != State::Frozen)
+            return; // crashed while frozen
+        state_ = State::Up;
+        cpu_.resume();
+        sim::Trace::log(sim_.now(), "node", "node ", id_, " unfroze");
+        for (auto &fn : unfreezeFns_)
+            fn();
+    });
+}
+
+void
+Node::attachService(Service *svc)
+{
+    service_ = svc;
+}
+
+void
+Node::startServiceNow()
+{
+    if (!service_)
+        PANIC("node ", id_, " has no attached service");
+    if (!service_->alive())
+        service_->start();
+}
+
+void
+Node::killService()
+{
+    if (!service_ || !service_->alive() || state_ == State::Down)
+        return;
+    service_->terminate(/*silent=*/false);
+    // The daemon notices the death and restarts the process.
+    if (!restartPending_) {
+        restartPending_ = true;
+        sim_.scheduleIn(cfg_.serviceRestartDelay, [this] {
+            restartPending_ = false;
+            if (state_ == State::Up && service_ && !service_->alive())
+                service_->start();
+        });
+    }
+}
+
+void
+Node::stopService()
+{
+    if (service_ && service_->alive() && state_ != State::Down)
+        service_->sigStop();
+}
+
+void
+Node::contService()
+{
+    if (service_ && service_->alive() && state_ != State::Down)
+        service_->sigCont();
+}
+
+void
+Node::serviceSelfExited(ExitReason reason)
+{
+    if (reason == ExitReason::GaveUp) {
+        sim::Trace::log(sim_.now(), "daemon", "node ", id_,
+                        " service gave up; waiting for operator");
+        return; // availability cost: needs operator intervention
+    }
+    if (reason == ExitReason::FailFast && !restartPending_) {
+        restartPending_ = true;
+        sim_.scheduleIn(cfg_.serviceRestartDelay, [this] {
+            restartPending_ = false;
+            if (state_ == State::Up && service_ && !service_->alive())
+                service_->start();
+        });
+    }
+}
+
+void
+Node::operatorRestartService()
+{
+    if (state_ != State::Up || !service_)
+        return;
+    if (service_->alive())
+        service_->terminate(/*silent=*/false);
+    service_->start();
+}
+
+} // namespace performa::osim

@@ -1,0 +1,107 @@
+#include "press/cluster.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "proto/tcp.hh"
+#include "proto/via.hh"
+
+namespace performa::press {
+
+Cluster::Cluster(sim::Simulation &s, ClusterConfig cfg)
+    : sim_(s), cfg_(std::move(cfg))
+{
+    intraNet_ = std::make_unique<net::Network>(sim_, cfg_.intraNet);
+    clientNet_ = std::make_unique<net::Network>(sim_, cfg_.clientNet);
+
+    const std::uint32_t n = cfg_.press.numNodes;
+
+    std::unordered_map<sim::NodeId, net::PortId> peer_ports;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        net::PortId ip = intraNet_->addPort();
+        net::PortId cp = clientNet_->addPort();
+        peer_ports[i] = ip;
+        serverClientPorts_.push_back(cp);
+    }
+    for (std::uint32_t i = 0; i < cfg_.clientMachines; ++i)
+        clientMachinePorts_.push_back(clientNet_->addPort());
+
+    std::vector<sim::NodeId> all;
+    for (std::uint32_t i = 0; i < n; ++i)
+        all.push_back(i);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        nodes_.push_back(std::make_unique<osim::Node>(
+            sim_, i, *intraNet_, peer_ports[i], *clientNet_,
+            serverClientPorts_[i], cfg_.node));
+    }
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::unique_ptr<proto::ClusterComm> stack;
+        if (isVia(cfg_.press.version)) {
+            stack = std::make_unique<proto::ViaComm>(
+                *nodes_[i], viaConfigFor(cfg_.press.version), peer_ports);
+        } else {
+            stack = std::make_unique<proto::TcpComm>(
+                *nodes_[i], tcpConfigFor(cfg_.press.version), peer_ports);
+        }
+        auto interposer = std::make_unique<proto::FaultInterposer>(
+            std::move(stack));
+        servers_.push_back(std::make_unique<Server>(
+            *nodes_[i], cfg_.press, std::move(interposer), all));
+    }
+}
+
+void
+Cluster::startAll()
+{
+    for (auto &srv : servers_)
+        srv->markColdStart();
+    for (auto &node : nodes_)
+        node->startServiceNow();
+}
+
+void
+Cluster::prewarm(std::size_t hot_files)
+{
+    const std::uint32_t n = cfg_.press.numNodes;
+    std::size_t per_node =
+        cfg_.press.cacheBytes / cfg_.press.fileBytes;
+    std::size_t limit = std::min<std::size_t>(hot_files, per_node * n);
+    for (std::size_t f = 0; f < limit; ++f) {
+        sim::NodeId owner = static_cast<sim::NodeId>(f % n);
+        for (auto &srv : servers_)
+            srv->prewarmFile(static_cast<sim::FileId>(f), owner);
+    }
+}
+
+void
+Cluster::operatorReset()
+{
+    for (auto &srv : servers_)
+        srv->markColdStart();
+    for (auto &node : nodes_)
+        node->operatorRestartService();
+}
+
+bool
+Cluster::splintered() const
+{
+    // Collect the set of live, serving nodes.
+    std::set<sim::NodeId> live;
+    for (std::uint32_t i = 0; i < cfg_.press.numNodes; ++i) {
+        if (nodes_[i]->up() && servers_[i]->alive() &&
+            !servers_[i]->stoppedBySignal())
+            live.insert(i);
+    }
+    for (sim::NodeId i : live) {
+        for (sim::NodeId j : live) {
+            if (!servers_[i]->members().count(j))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace performa::press

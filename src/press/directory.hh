@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Each node's view of what every node caches ("locality information
+ * takes the form of the names of the files that are currently
+ * cached"), maintained from cache-update broadcasts and cache-info
+ * transfers, and purged wholesale when a node is excluded from the
+ * cluster.
+ */
+
+#ifndef PERFORMA_PRESS_DIRECTORY_HH
+#define PERFORMA_PRESS_DIRECTORY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace performa::press {
+
+/**
+ * fileId -> set-of-nodes map with a per-node reverse index for O(n)
+ * purges on reconfiguration.
+ */
+class Directory
+{
+  public:
+    /** Record that @p node caches @p f. */
+    void
+    add(sim::FileId f, sim::NodeId node)
+    {
+        auto &v = byFile_[f];
+        if (std::find(v.begin(), v.end(), node) == v.end())
+            v.push_back(node);
+        byNode_[node].insert(f);
+    }
+
+    /** Record that @p node no longer caches @p f. */
+    void
+    remove(sim::FileId f, sim::NodeId node)
+    {
+        auto it = byFile_.find(f);
+        if (it != byFile_.end()) {
+            auto &v = it->second;
+            v.erase(std::remove(v.begin(), v.end(), node), v.end());
+            if (v.empty())
+                byFile_.erase(it);
+        }
+        auto nit = byNode_.find(node);
+        if (nit != byNode_.end())
+            nit->second.erase(f);
+    }
+
+    /** Drop all knowledge about @p node (node excluded). */
+    void
+    purgeNode(sim::NodeId node)
+    {
+        auto nit = byNode_.find(node);
+        if (nit == byNode_.end())
+            return;
+        for (sim::FileId f : nit->second) {
+            auto it = byFile_.find(f);
+            if (it == byFile_.end())
+                continue;
+            auto &v = it->second;
+            v.erase(std::remove(v.begin(), v.end(), node), v.end());
+            if (v.empty())
+                byFile_.erase(it);
+        }
+        byNode_.erase(nit);
+    }
+
+    /** Nodes believed to cache @p f (possibly empty). */
+    const std::vector<sim::NodeId> &
+    nodesFor(sim::FileId f) const
+    {
+        static const std::vector<sim::NodeId> empty;
+        auto it = byFile_.find(f);
+        return it == byFile_.end() ? empty : it->second;
+    }
+
+    /** Number of (file, node) entries for @p node. */
+    std::size_t
+    entriesOf(sim::NodeId node) const
+    {
+        auto it = byNode_.find(node);
+        return it == byNode_.end() ? 0 : it->second.size();
+    }
+
+    void
+    clear()
+    {
+        byFile_.clear();
+        byNode_.clear();
+    }
+
+  private:
+    std::unordered_map<sim::FileId, std::vector<sim::NodeId>> byFile_;
+    std::unordered_map<sim::NodeId, std::unordered_set<sim::FileId>>
+        byNode_;
+};
+
+} // namespace performa::press
+
+#endif // PERFORMA_PRESS_DIRECTORY_HH

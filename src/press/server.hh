@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The PRESS server process on one node.
+ *
+ * PRESS is a locality-conscious cluster web server: any node receives
+ * client requests (round-robin DNS), parses them and either serves
+ * locally or forwards to the node caching the file; caching decisions
+ * are broadcast so every node knows what the others cache; load is
+ * piggy-backed on every intra-cluster message.
+ *
+ * The server code is identical across the five versions of Table 1 —
+ * the differences come from the communication substrate it is given
+ * (TCP vs the three VIA modes), from whether the heartbeat protocol
+ * runs, and from whether cached file pages are dynamically pinned
+ * (VIA-PRESS-5).
+ *
+ * Failure semantics implemented from the paper:
+ *  - a broken intra-cluster connection means "that node failed":
+ *    exclude it and reconfigure the ring;
+ *  - TCP-PRESS-HB additionally treats 3 missed heartbeats from the
+ *    ring predecessor as failure and announces it to the others;
+ *  - fatal communication-library errors (EFAULT, descriptor errors,
+ *    stream desync, remote DMA errors) are handled fail-fast: the
+ *    process terminates and the node's daemon restarts it;
+ *  - reconfiguration happens only at process start-up and on failure
+ *    detection — sub-clusters never merge back spontaneously, which
+ *    is why link/switch faults leave the cluster splintered until an
+ *    operator resets it;
+ *  - rejoin over TCP uses the broadcast-to-lowest-ID protocol, whose
+ *    "disregard joiners we still believe are members" rule recreates
+ *    the paper's rejoin race after node crashes;
+ *  - rejoin over VIA simply re-establishes connections.
+ */
+
+#ifndef PERFORMA_PRESS_SERVER_HH
+#define PERFORMA_PRESS_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "os/node.hh"
+#include "os/service.hh"
+#include "press/cache.hh"
+#include "press/config.hh"
+#include "press/directory.hh"
+#include "press/disk.hh"
+#include "press/messages.hh"
+#include "press/server_stats.hh"
+#include "proto/interpose.hh"
+#include "sim/types.hh"
+
+namespace performa::press {
+
+/** Observation hooks used by experiments to place stage markers. */
+struct ServerHooks
+{
+    /** This server excluded @p failed from its cooperating set. */
+    std::function<void(sim::NodeId self, sim::NodeId failed)> onExclude;
+    /** This server added @p joined to its cooperating set. */
+    std::function<void(sim::NodeId self, sim::NodeId joined)> onMemberUp;
+    /** Fail-fast termination with the fatal error text. */
+    std::function<void(sim::NodeId self, const std::string &)> onFailFast;
+    /** Rejoin attempts exhausted; continuing as a singleton. */
+    std::function<void(sim::NodeId self)> onGiveUp;
+    /** Process (re)started. */
+    std::function<void(sim::NodeId self)> onStarted;
+};
+
+/**
+ * One PRESS server process (see file comment).
+ */
+class Server : public osim::Service
+{
+  public:
+    /**
+     * @param node Host node (the server registers as its service).
+     * @param cfg Deployment configuration.
+     * @param comm Interposed communication endpoint (owned).
+     * @param all_nodes Identities of every node in the static cluster
+     * configuration file.
+     */
+    Server(osim::Node &node, const PressConfig &cfg,
+           std::unique_ptr<proto::FaultInterposer> comm,
+           std::vector<sim::NodeId> all_nodes);
+
+    // osim::Service interface -----------------------------------------
+    void start() override;
+    void sigStop() override;
+    void sigCont() override;
+    void terminate(bool silent) override;
+    bool alive() const override { return alive_; }
+
+    /** Arm bad-parameter faults through the interposition layer. */
+    proto::FaultInterposer &interposer() { return *comm_; }
+
+    /** Next start() performs initial cluster formation, not a rejoin. */
+    void markColdStart() { coldStart_ = true; }
+
+    void setHooks(ServerHooks hooks) { hooks_ = std::move(hooks); }
+
+    // Introspection (tests, experiments) ------------------------------
+    const std::set<sim::NodeId> &members() const { return members_; }
+    bool stoppedBySignal() const { return stopped_; }
+    bool stalled() const { return stalled_; }
+    std::size_t cachedFiles() const { return cache_ ? cache_->size() : 0; }
+    std::uint64_t served() const { return stats_.responses; }
+
+    /** Monotonic per-server counters (survive process restarts). */
+    const ServerStats &stats() const { return stats_; }
+    const PressConfig &config() const { return cfg_; }
+    osim::Node &node() { return node_; }
+
+    /**
+     * Pre-warm: place @p f directly in the cache and directory
+     * (steady-state initialization used by experiments to skip long
+     * warm-up phases). Call on every server: the caching node passes
+     * itself as @p owner.
+     */
+    void prewarmFile(sim::FileId f, sim::NodeId owner);
+
+  private:
+    // -- client side ---------------------------------------------------
+    void onClientFrame(net::Frame &&f);
+    void dispatch(const ClientRequestBody &req);
+    void serveFromCache(const ClientRequestBody &req);
+    void serveFromDisk(const ClientRequestBody &req);
+    void forwardRequest(const ClientRequestBody &req, sim::NodeId target);
+    void respondToClient(sim::RequestId req, std::uint32_t reply_port);
+    void finishRequest();
+
+    // -- intra-cluster messages -----------------------------------------
+    void onMessage(sim::NodeId peer, proto::AppMessage &&msg);
+    void handleFwdRequest(sim::NodeId peer, const FwdRequestBody &body);
+    void handleFileData(const FileDataBody &body);
+    void sendFileData(sim::NodeId initial, sim::RequestId req,
+                      sim::FileId file, std::uint32_t client_port);
+
+    // -- membership / reconfiguration ----------------------------------
+    void onPeerConnected(sim::NodeId peer);
+    void onPeerBroken(sim::NodeId peer, proto::BreakReason reason);
+    void excludeNode(sim::NodeId failed);
+    void recomputeRing();
+    sim::NodeId ringSuccessor() const;
+    sim::NodeId ringPredecessor() const;
+
+    // -- rejoin ----------------------------------------------------------
+    void beginColdFormation();
+    void beginJoinProtocol();
+    void joinTick();
+    void onDatagram(sim::NodeId peer, std::uint32_t kind,
+                    std::shared_ptr<void> payload);
+
+    // -- heartbeats -------------------------------------------------------
+    void hbSendTick();
+    void hbCheckTick();
+
+    // -- robust membership extension ---------------------------------------
+    /**
+     * Periodically probe configured nodes missing from the member set
+     * and reconnect when they become reachable again (the "rigorous
+     * membership algorithm" the paper calls for in Section 6.2).
+     */
+    void membershipProbeTick();
+
+    // -- sending -----------------------------------------------------------
+    /**
+     * Send with main-loop blocking semantics: on WouldBlock the whole
+     * main thread stalls (CPU paused) until the substrate reports
+     * space again; queued messages flush in order.
+     */
+    void sendOrQueue(sim::NodeId peer, proto::AppMessage msg);
+    void flushPending();
+    void broadcastCacheUpdate(sim::FileId file, bool added);
+    void sendCacheInfoTo(sim::NodeId peer);
+    void onSendReady();
+    void failFast(const std::string &reason);
+
+    // -- cache helpers ------------------------------------------------------
+    /** Insert into the local cache, broadcasting insert + evictions. */
+    void cacheInsert(sim::FileId f);
+    sim::NodeId leastLoaded(const std::vector<sim::NodeId> &candidates)
+        const;
+    std::uint32_t loadOf(sim::NodeId n) const;
+
+    // -- main loop ---------------------------------------------------------
+    /**
+     * Queue work for the main coordinating thread. The main loop
+     * stops draining while the thread is blocked on a send
+     * (@c stalled_) or SIGSTOPped; kernel and helper-thread work
+     * (stack deliveries, acks, credit returns) keeps running on the
+     * CPU regardless, mirroring PRESS's helper-thread structure.
+     */
+    void mainExec(sim::Tick cost, std::function<void()> fn);
+    void pumpMain();
+
+    // -- lifecycle helpers -----------------------------------------------
+    /** Schedule @p fn, skipped if the process restarted meanwhile. */
+    void scheduleEpoch(sim::Tick delay, std::function<void()> fn);
+    void sweepTick();
+
+    osim::Node &node_;
+    PressConfig cfg_;
+    std::unique_ptr<proto::FaultInterposer> comm_;
+    std::vector<sim::NodeId> allNodes_;
+    ServerHooks hooks_;
+
+    // process state
+    bool alive_ = false;
+    bool stopped_ = false;
+    bool coldStart_ = true;
+    std::uint64_t epoch_ = 0;
+
+    // cluster state
+    std::set<sim::NodeId> members_;
+    std::map<sim::NodeId, std::uint32_t> loads_;
+    Directory directory_;
+    std::unique_ptr<FileCache> cache_;
+    std::unique_ptr<DiskArray> disk_;
+
+    // request state
+    struct PendingFwd
+    {
+        sim::FileId file;
+        std::uint32_t clientPort;
+        sim::NodeId target;
+        sim::Tick sentAt;
+        sim::RequestId req;
+    };
+    std::unordered_map<sim::RequestId, PendingFwd> pendingFwd_;
+    std::size_t outstanding_ = 0;
+
+    // blocking-send state
+    std::deque<std::pair<sim::NodeId, proto::AppMessage>> pendingSends_;
+    bool stalled_ = false;
+
+    // main-loop queue
+    struct MainItem
+    {
+        sim::Tick cost;
+        std::function<void()> fn;
+    };
+    std::deque<MainItem> mainQ_;
+    bool mainBusy_ = false;
+
+    // join state
+    int joinTries_ = 0;
+    bool joinResponded_ = false;
+
+    // heartbeat state
+    sim::Tick lastHbAt_ = 0;
+
+    // stats
+    ServerStats stats_;
+    sim::Tick stallStartedAt_ = 0;
+};
+
+} // namespace performa::press
+
+#endif // PERFORMA_PRESS_SERVER_HH

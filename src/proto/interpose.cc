@@ -1,0 +1,52 @@
+#include "proto/interpose.hh"
+
+#include <utility>
+
+namespace performa::proto {
+
+void
+FaultInterposer::setCallbacks(CommCallbacks cbs)
+{
+    userCbs_ = std::move(cbs);
+
+    CommCallbacks wrapped = userCbs_;
+    wrapped.onMessage = [this](sim::NodeId peer, AppMessage &&msg) {
+        if (armedRecv_) {
+            // The receive call ran with a corrupted buffer descriptor:
+            // the library reports a fatal error instead of data (EFAULT
+            // for sockets, an error-status completion for VIPL).
+            armedRecv_.reset();
+            if (userCbs_.onFatalError)
+                userCbs_.onFatalError(
+                    "receive call failed: corrupted buffer parameters");
+            return;
+        }
+        if (userCbs_.onMessage)
+            userCbs_.onMessage(peer, std::move(msg));
+    };
+    inner_->setCallbacks(std::move(wrapped));
+}
+
+SendStatus
+FaultInterposer::send(sim::NodeId peer, AppMessage msg,
+                      const SendParams &params)
+{
+    SendParams p = params;
+    if (armedSend_) {
+        switch (*armedSend_) {
+          case Corruption::NullPointer:
+            p.nullPointer = true;
+            break;
+          case Corruption::OffByNPtr:
+            p.ptrOffset = armedN_;
+            break;
+          case Corruption::OffByNSize:
+            p.sizeDelta = armedN_;
+            break;
+        }
+        armedSend_.reset();
+    }
+    return inner_->send(peer, std::move(msg), p);
+}
+
+} // namespace performa::proto

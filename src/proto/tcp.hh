@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Message-level model of a kernel TCP stack, faithful to the
+ * behaviours the paper's evaluation depends on:
+ *
+ *  - a byte-stream with framing on top: an off-by-N size or pointer
+ *    fault desynchronizes the stream and surfaces as a fatal framing
+ *    error at the receiver;
+ *  - timeout-and-retry with exponential backoff: packet loss is
+ *    assumed transient, so faults are detected only after very long
+ *    abort timeouts (10-15 minutes);
+ *  - RST semantics: a segment arriving at a host that does not know
+ *    the connection (process died, node rebooted into a new
+ *    incarnation) is answered with a reset, which is how peers
+ *    eventually detect crashes;
+ *  - kernel-memory coupling: every queued segment needs an skbuf; when
+ *    the allocator fails (resource-exhaustion fault) outbound traffic
+ *    stalls inside the OS and inbound segments are dropped;
+ *  - synchronous EFAULT on a NULL user pointer.
+ *
+ * Granularity: one frame per application message (not per MSS
+ * segment); retransmission, acking and windowing operate on message
+ * frames. This preserves every timing behaviour the study measures
+ * while keeping event counts tractable.
+ */
+
+#ifndef PERFORMA_PROTO_TCP_HH
+#define PERFORMA_PROTO_TCP_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/frame.hh"
+#include "os/node.hh"
+#include "proto/comm.hh"
+#include "sim/simulation.hh"
+
+namespace performa::proto {
+
+/** CPU cost parameters for one side of a message operation. */
+struct CommCosts
+{
+    sim::Tick sendFixed = 0;   ///< per-send fixed CPU
+    double sendPerKb = 0.0;    ///< per-KB send CPU (copies, checksum)
+    sim::Tick recvFixed = 0;   ///< per-receive fixed CPU
+    double recvPerKb = 0.0;    ///< per-KB receive CPU
+    sim::Tick deliveryDelay = 0; ///< extra delivery latency (polling)
+};
+
+/** Tunables for the TCP model. */
+struct TcpConfig
+{
+    std::uint64_t sndBufBytes = 128 * 1024; ///< per-connection send queue
+    std::size_t rcvQueueMsgs = 16;          ///< per-connection recv queue
+    sim::Tick rtoInitial = sim::msec(200);
+    sim::Tick rtoMax = sim::sec(64);
+    /**
+     * Give up retransmitting and abort the connection after this long
+     * without progress ("these timeouts tend to be very long, on the
+     * order of 10-15 minutes").
+     */
+    sim::Tick abortTimeout = sim::minutes(15);
+    sim::Tick connectTimeout = sim::sec(3);
+    int connectRetries = 4;
+    std::uint64_t headerBytes = 60;  ///< wire overhead per message
+    std::uint64_t datagramBytes = 64;
+    /** Default CPU costs: calibrated kernel-TCP values (see
+     *  press::tcpConfigFor, which PRESS deployments use). */
+    CommCosts costs{sim::usec(63), 12.0, sim::usec(74), 12.0, 0};
+};
+
+/**
+ * The kernel TCP endpoint of one server process. Attached to a Node;
+ * demultiplexes Proto::Tcp and Proto::Datagram frames from the
+ * intra-cluster network.
+ */
+class TcpComm : public ClusterComm
+{
+  public:
+    TcpComm(osim::Node &node, TcpConfig cfg,
+            const std::unordered_map<sim::NodeId, net::PortId> &peer_ports);
+
+    void setCallbacks(CommCallbacks cbs) override { cbs_ = std::move(cbs); }
+    void start() override;
+    void connect(sim::NodeId peer) override;
+    bool connected(sim::NodeId peer) const override;
+    SendStatus send(sim::NodeId peer, AppMessage msg,
+                    const SendParams &params) override;
+    void sendDatagram(sim::NodeId peer, std::uint32_t kind,
+                      std::shared_ptr<void> payload = {}) override;
+    void consumed(sim::NodeId peer) override;
+    void disconnect(sim::NodeId peer) override;
+    void shutdown() override;
+    void vanish() override;
+    void setAppReceiving(bool on) override;
+
+    /** CPU the caller burns issuing a send of @p bytes. */
+    sim::Tick sendCost(std::uint64_t bytes) const override;
+
+    const TcpConfig &config() const { return cfg_; }
+
+  private:
+    enum FrameKind : std::uint32_t
+    {
+        Syn,
+        SynAck,
+        Rst,
+        Data,
+        Ack,
+    };
+
+    /** What a queued outbound message looks like. */
+    struct OutMsg
+    {
+        AppMessage msg;
+        std::uint64_t wireBytes;
+        std::uint64_t seq;
+        /** Stream-desync fault riding on this message, if any. */
+        bool desync = false;
+    };
+
+    struct InMsg
+    {
+        AppMessage msg;
+        sim::NodeId peer;
+        bool desync = false;
+    };
+
+    /** One direction-agnostic connection endpoint. */
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        sim::NodeId peer = sim::invalidNode;
+        bool established = false;
+
+        // sender side
+        std::deque<OutMsg> sndQueue;
+        std::uint64_t sndBytes = 0;
+        std::uint64_t seqNext = 0;
+        bool inFlight = false;
+        bool skbufHeld = false; ///< in-flight frame holds kernel memory
+        sim::Tick rto = 0;
+        sim::Tick firstFailAt = 0; ///< 0 = progressing
+        sim::EventHandle rtoTimer;
+        sim::EventHandle memRetryTimer;
+        bool senderBlocked = false;
+
+        // connect side
+        int synTries = 0;
+        sim::EventHandle synTimer;
+
+        // receiver side
+        std::uint64_t seqExpected = 0;
+        std::deque<InMsg> rcvQueue;
+        /** Deliveries queued on the CPU but not yet executed. */
+        std::size_t scheduledDeliveries = 0;
+    };
+
+    void reset();
+    void handleSynRetry(std::uint64_t conn_id);
+    void handleFrame(net::Frame &&f);
+    void handleSyn(const net::Frame &f);
+    void handleSynAck(const net::Frame &f);
+    void handleRst(const net::Frame &f);
+    void handleData(net::Frame &&f);
+    void handleAck(const net::Frame &f);
+
+    /** Transmit (or re-transmit) the head of @p c's send queue. */
+    void pump(Conn &c);
+    void armRto(Conn &c);
+    void onRtoFired(std::uint64_t conn_id);
+    void abortConn(std::uint64_t conn_id, BreakReason reason,
+                   bool send_rst);
+    void sendRawRst(sim::NodeId peer, std::uint64_t conn_id);
+    void scheduleDeliveries(Conn &c);
+    void maybeUnblockSender(Conn &c);
+
+    Conn *findByPeer(sim::NodeId peer);
+    const Conn *findByPeer(sim::NodeId peer) const;
+
+    net::PortId portOf(sim::NodeId peer) const;
+    sim::NodeId peerOfPort(net::PortId port) const;
+
+    osim::Node &node_;
+    TcpConfig cfg_;
+    CommCallbacks cbs_;
+    std::unordered_map<sim::NodeId, net::PortId> peerPorts_;
+    std::unordered_map<net::PortId, sim::NodeId> portPeers_;
+
+    bool listening_ = false;
+    bool appReceiving_ = true;
+    std::unordered_map<std::uint64_t, Conn> conns_;
+    std::unordered_map<sim::NodeId, std::uint64_t> active_;
+};
+
+} // namespace performa::proto
+
+#endif // PERFORMA_PROTO_TCP_HH

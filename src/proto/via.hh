@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Model of a user-level VIA (Virtual Interface Architecture) provider
+ * over a cLAN-style SAN, with the properties the paper's evaluation
+ * depends on:
+ *
+ *  - reliable-connection fail-stop semantics: any packet loss breaks
+ *    the connection immediately (SAN fabrics treat loss as
+ *    catastrophic, not congestion), so fault detection is near
+ *    instantaneous;
+ *  - pre-allocated resources: descriptors and message buffers are
+ *    registered (pinned) at start-up, making the stack immune to
+ *    kernel-memory exhaustion, unlike TCP;
+ *  - credit-based flow control driven by explicit flow-control
+ *    messages (as PRESS implements over VIA);
+ *  - three messaging modes matching VIA-PRESS-0/3/5: interrupt-driven
+ *    send/receive, remote memory writes with receiver polling, and
+ *    remote writes with zero-copy data transfers;
+ *  - descriptor-status error reporting: a bad parameter surfaces as a
+ *    fatal completion error at the sender, and for remote-write modes
+ *    at BOTH endpoints of the transfer;
+ *  - hardware (NIC-level) acknowledgement: a frozen host's NIC still
+ *    acks, so connections survive OS hangs, but credits stop being
+ *    returned and senders stall.
+ */
+
+#ifndef PERFORMA_PROTO_VIA_HH
+#define PERFORMA_PROTO_VIA_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "net/frame.hh"
+#include "os/node.hh"
+#include "proto/comm.hh"
+#include "proto/tcp.hh" // for CommCosts
+#include "sim/simulation.hh"
+
+namespace performa::proto {
+
+/** Messaging mode, mapping to the VIA-PRESS versions. */
+enum class ViaMode
+{
+    SendRecv,            ///< VIA-PRESS-0: regular messages, interrupts
+    RemoteWrite,         ///< VIA-PRESS-3: RDMA writes, polling
+    RemoteWriteZeroCopy, ///< VIA-PRESS-5: RDMA + zero-copy data
+};
+
+/** Tunables for the VIA model. */
+struct ViaConfig
+{
+    ViaMode mode = ViaMode::SendRecv;
+    std::uint32_t credits = 32;    ///< pre-posted descriptors / slots
+    /** Mean extra delivery latency for polled (RDMA) modes. */
+    sim::Tick pollDelay = sim::usec(50);
+    /** Message buffers registered (pinned) at service start. */
+    std::uint64_t regBufferBytes = 4ull << 20;
+    std::uint64_t headerBytes = 40;
+    std::uint64_t datagramBytes = 64;
+    sim::Tick connectTimeout = sim::sec(1);
+    int connectRetries = 3;
+    /** Default CPU costs: calibrated VIA send/receive values (see
+     *  press::viaConfigFor, which PRESS deployments use). */
+    CommCosts costs{sim::usec(21), 9.0, sim::usec(42), 9.0, 0};
+};
+
+/**
+ * The VIA provider + VIPL library endpoint for one server process.
+ */
+class ViaComm : public ClusterComm
+{
+  public:
+    ViaComm(osim::Node &node, ViaConfig cfg,
+            const std::unordered_map<sim::NodeId, net::PortId>
+                &peer_ports);
+
+    void setCallbacks(CommCallbacks cbs) override { cbs_ = std::move(cbs); }
+    void start() override;
+    void connect(sim::NodeId peer) override;
+    bool connected(sim::NodeId peer) const override;
+    SendStatus send(sim::NodeId peer, AppMessage msg,
+                    const SendParams &params) override;
+    void sendDatagram(sim::NodeId peer, std::uint32_t kind,
+                      std::shared_ptr<void> payload = {}) override;
+    void consumed(sim::NodeId peer) override;
+    void disconnect(sim::NodeId peer) override;
+    void shutdown() override;
+    void vanish() override;
+    void setAppReceiving(bool on) override;
+
+    /** CPU the caller burns posting a send of @p bytes. */
+    sim::Tick sendCost(std::uint64_t bytes) const override;
+
+    /**
+     * Register (pin) application memory, e.g. VIA-PRESS-5's cached
+     * file pages. @return false when the pinnable-page budget is
+     * exhausted.
+     */
+    bool registerMemory(std::uint64_t bytes);
+
+    /** Deregister (unpin) previously registered memory. */
+    void deregisterMemory(std::uint64_t bytes);
+
+    /** @return true if start-up registration succeeded. */
+    bool started() const { return listening_; }
+
+    const ViaConfig &config() const { return cfg_; }
+
+  private:
+    enum FrameKind : std::uint32_t
+    {
+        ConnReq,
+        ConnAck,
+        ConnRefused,
+        Data,
+        Credit,
+        BreakNotify, ///< graceful close / error: peer should break too
+        ErrorNotify, ///< RDMA completion error raised at the remote end
+    };
+
+    struct OutMsg
+    {
+        AppMessage msg;
+        std::uint64_t wireBytes;
+    };
+
+    struct InMsg
+    {
+        AppMessage msg;
+        sim::NodeId peer;
+    };
+
+    struct Vi
+    {
+        std::uint64_t id = 0;
+        sim::NodeId peer = sim::invalidNode;
+        bool established = false;
+
+        std::uint32_t remoteCredits = 0;
+        std::deque<OutMsg> sndQueue;
+        bool inFlight = false;
+        bool senderBlocked = false;
+
+        std::deque<InMsg> rcvQueue;
+        std::size_t scheduledDeliveries = 0;
+
+        int connTries = 0;
+        sim::EventHandle connTimer;
+    };
+
+    void reset();
+    void handleFrame(net::Frame &&f);
+    void handleConnReq(const net::Frame &f);
+    void handleData(net::Frame &&f);
+    void pump(Vi &vi);
+    void breakVi(std::uint64_t vi_id, BreakReason reason, bool notify);
+    void scheduleDeliveries(Vi &vi);
+    void sendControl(sim::NodeId peer, FrameKind kind, std::uint64_t vi_id);
+    void handleConnRetry(std::uint64_t vi_id);
+
+    Vi *findByPeer(sim::NodeId peer);
+    const Vi *findByPeer(sim::NodeId peer) const;
+    net::PortId portOf(sim::NodeId peer) const;
+    sim::NodeId peerOfPort(net::PortId port) const;
+
+    bool polled() const { return cfg_.mode != ViaMode::SendRecv; }
+    bool remoteWrite() const { return cfg_.mode != ViaMode::SendRecv; }
+
+    osim::Node &node_;
+    ViaConfig cfg_;
+    CommCallbacks cbs_;
+    std::unordered_map<sim::NodeId, net::PortId> peerPorts_;
+    std::unordered_map<net::PortId, sim::NodeId> portPeers_;
+
+    bool listening_ = false;
+    bool appReceiving_ = true;
+    std::uint64_t pinnedByUs_ = 0; ///< total we registered (for reset)
+    std::map<std::uint64_t, Vi> vis_;
+    std::map<sim::NodeId, std::uint64_t> active_;
+};
+
+} // namespace performa::proto
+
+#endif // PERFORMA_PROTO_VIA_HH

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace performa::sim {
+
+bool
+EventHandle::pending() const
+{
+    return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle
+EventQueue::schedule(Tick when, Handler fn)
+{
+    if (when < now_)
+        PANIC("scheduling event in the past: ", when, " < ", now_);
+    auto state = std::make_shared<EventHandle::State>();
+    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
+    return EventHandle(std::move(state));
+}
+
+EventHandle
+EventQueue::scheduleIn(Tick delay, Handler fn)
+{
+    return schedule(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventHandle &h)
+{
+    if (h.state_)
+        h.state_->cancelled = true;
+    h.state_.reset();
+}
+
+void
+EventQueue::execute(Entry &&e)
+{
+    now_ = e.when;
+    e.state->fired = true;
+    ++executed_;
+    // Move the handler out before invoking: the handler may schedule
+    // more events, growing the heap and invalidating references.
+    Handler fn = std::move(e.fn);
+    fn();
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        if (e.state->cancelled)
+            continue;
+        execute(std::move(e));
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        if (e.state->cancelled)
+            continue;
+        execute(std::move(e));
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!runOne())
+            break;
+    }
+}
+
+} // namespace performa::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The discrete-event engine at the heart of the simulated cluster.
+ *
+ * Every other subsystem (network, node OS, protocol stacks, servers,
+ * clients, fault injector) expresses its behaviour as events scheduled
+ * on a single EventQueue. Events at the same tick execute in schedule
+ * order, which makes runs fully deterministic for a given seed.
+ */
+
+#ifndef PERFORMA_SIM_EVENT_QUEUE_HH
+#define PERFORMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace performa::sim {
+
+/**
+ * Handle to a scheduled event, usable to cancel it before it fires.
+ * Default-constructed handles refer to no event and are safe to cancel.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** @return true if the handle refers to an event not yet fired. */
+    bool pending() const;
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * A deterministic priority queue of timed callbacks.
+ *
+ * Two events scheduled for the same tick fire in the order they were
+ * scheduled (FIFO tie-break on a sequence number).
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * Scheduling in the past is a bug and panics.
+     */
+    EventHandle schedule(Tick when, Handler fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle scheduleIn(Tick delay, Handler fn);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired
+     * or empty handle is a harmless no-op.
+     */
+    void cancel(EventHandle &h);
+
+    /**
+     * Run the single next event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run every event scheduled at or before @p limit, then advance
+     * the clock to exactly @p limit.
+     */
+    void runUntil(Tick limit);
+
+    /** Run until the queue drains or @p limit is passed. */
+    void runAll(Tick limit = maxTick);
+
+    /** @return number of events still scheduled (including cancelled). */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** @return total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler fn;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and execute the head entry (must exist, not cancelled). */
+    void execute(Entry &&e);
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_EVENT_QUEUE_HH

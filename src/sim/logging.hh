@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal()
+ * for user/configuration errors, plus an optional trace stream that
+ * experiments can enable to watch protocol behaviour.
+ */
+
+#ifndef PERFORMA_SIM_LOGGING_HH
+#define PERFORMA_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace performa::sim {
+
+/**
+ * Abort the process because an internal invariant was violated.
+ * Use for conditions that indicate a bug in performa itself.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Exit the process because of an unusable configuration or input.
+ * Use for conditions that are the caller's fault, not a bug.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning; the run continues. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+#define PANIC(...) \
+    ::performa::sim::panicImpl(__FILE__, __LINE__, \
+        ::performa::sim::detail::concat(__VA_ARGS__))
+
+#define FATAL(...) \
+    ::performa::sim::fatalImpl(__FILE__, __LINE__, \
+        ::performa::sim::detail::concat(__VA_ARGS__))
+
+#define WARN(...) \
+    ::performa::sim::warnImpl(__FILE__, __LINE__, \
+        ::performa::sim::detail::concat(__VA_ARGS__))
+
+/**
+ * Trace sink for protocol-level debugging.
+ *
+ * Tracing is disabled by default (experiments generate millions of
+ * events); tests and examples can enable it to observe behaviour.
+ */
+class Trace
+{
+  public:
+    /** Globally enable or disable tracing. */
+    static void enable(bool on) { enabled_ = on; }
+
+    /** @return true if tracing is on. */
+    static bool enabled() { return enabled_; }
+
+    /**
+     * Emit one trace line, prefixed with the simulated time and a
+     * component tag, e.g. "[12.0340s] tcp: connection 2->3 broken".
+     */
+    template <typename... Args>
+    static void
+    log(Tick now, const char *tag, Args &&...args)
+    {
+        if (!enabled_)
+            return;
+        std::string body = detail::concat(std::forward<Args>(args)...);
+        std::fprintf(stderr, "[%10.4fs] %s: %s\n", toSeconds(now), tag,
+                     body.c_str());
+    }
+
+  private:
+    static bool enabled_;
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_LOGGING_HH

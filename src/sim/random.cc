@@ -1,0 +1,55 @@
+#include "sim/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace performa::sim {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha)
+{
+    if (n == 0)
+        FATAL("ZipfSampler needs at least one item");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::pmf(std::size_t i) const
+{
+    if (i >= cdf_.size())
+        return 0.0;
+    if (i == 0)
+        return cdf_[0];
+    return cdf_[i] - cdf_[i - 1];
+}
+
+double
+ZipfSampler::coverage(std::size_t k) const
+{
+    if (k == 0)
+        return 0.0;
+    if (k >= cdf_.size())
+        return 1.0;
+    return cdf_[k - 1];
+}
+
+} // namespace performa::sim

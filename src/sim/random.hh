@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random-number utilities: a seeded engine plus the
+ * distributions the workload generator and fault models need (uniform,
+ * exponential inter-arrival times, and a Zipf file-popularity sampler).
+ */
+
+#ifndef PERFORMA_SIM_RANDOM_HH
+#define PERFORMA_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace performa::sim {
+
+/**
+ * A seeded pseudo-random source. One Rng per simulation keeps runs
+ * reproducible; components draw from the simulation's Rng rather than
+ * owning their own.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedcafef00dULL) : engine_(seed) {}
+
+    /** Re-seed the engine (restarts the deterministic stream). */
+    void seed(std::uint64_t s) { engine_.seed(s); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+    }
+
+    /**
+     * Exponentially distributed interval with the given mean, rounded
+     * to at least one tick. Used for Poisson arrival processes and for
+     * sampling fault inter-arrival times from MTTFs.
+     */
+    Tick
+    exponential(Tick mean)
+    {
+        double m = static_cast<double>(mean);
+        double d = std::exponential_distribution<double>(1.0 / m)(engine_);
+        Tick t = static_cast<Tick>(d);
+        return t == 0 ? 1 : t;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n): item i is drawn with
+ * probability proportional to 1 / (i + 1)^alpha.
+ *
+ * Uses a precomputed CDF and binary search, so sampling is O(log n).
+ * Web-file popularity is well modelled by Zipf with alpha near 0.8,
+ * which is what the PRESS evaluation traces exhibit.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of distinct items (files).
+     * @param alpha Skew parameter; larger is more skewed.
+     */
+    ZipfSampler(std::size_t n, double alpha);
+
+    /** Draw one item index in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of item @p i. */
+    double pmf(std::size_t i) const;
+
+    /**
+     * Fraction of accesses covered by the @p k most popular items.
+     * Used to pre-warm caches analytically.
+     */
+    double coverage(std::size_t k) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double alpha() const { return alpha_; }
+
+  private:
+    double alpha_;
+    std::vector<double> cdf_; ///< cdf_[i] = P(item <= i)
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_RANDOM_HH

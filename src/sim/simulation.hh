@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Simulation context: one event queue plus one random source.
+ * Everything that happens in a run hangs off this object, which keeps
+ * runs deterministic and lets tests construct isolated worlds.
+ */
+
+#ifndef PERFORMA_SIM_SIMULATION_HH
+#define PERFORMA_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace performa::sim {
+
+/**
+ * Owns the event queue and RNG for one simulated world.
+ *
+ * Components take a Simulation& at construction and use it to schedule
+ * events and draw randomness. The Simulation outlives all components.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &events() { return events_; }
+    Rng &rng() { return rng_; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Convenience forwarders. */
+    EventHandle
+    schedule(Tick when, EventQueue::Handler fn)
+    {
+        return events_.schedule(when, std::move(fn));
+    }
+
+    EventHandle
+    scheduleIn(Tick delay, EventQueue::Handler fn)
+    {
+        return events_.scheduleIn(delay, std::move(fn));
+    }
+
+    void runUntil(Tick limit) { events_.runUntil(limit); }
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_SIMULATION_HH

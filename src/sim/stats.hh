@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers: online mean/min/max accumulation and
+ * simple named counters, used for run summaries and microbenchmarks.
+ */
+
+#ifndef PERFORMA_SIM_STATS_HH
+#define PERFORMA_SIM_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace performa::sim {
+
+/**
+ * Accumulates samples and reports count/mean/min/max/stddev without
+ * storing the samples (Welford's online algorithm).
+ */
+class OnlineStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    void
+    reset()
+    {
+        *this = OnlineStats();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_STATS_HH

@@ -1,0 +1,30 @@
+#include "sim/time_series.hh"
+
+#include <algorithm>
+
+namespace performa::sim {
+
+std::uint64_t
+TimeSeries::total(Tick from, Tick to) const
+{
+    if (to <= from || buckets_.empty())
+        return 0;
+    // Whole buckets only: callers align stage boundaries to buckets.
+    std::size_t first = static_cast<std::size_t>(from / bucketWidth_);
+    std::size_t last = static_cast<std::size_t>((to - 1) / bucketWidth_);
+    last = std::min(last, buckets_.size() - 1);
+    std::uint64_t sum = 0;
+    for (std::size_t i = first; i <= last && i < buckets_.size(); ++i)
+        sum += buckets_[i];
+    return sum;
+}
+
+double
+TimeSeries::meanRate(Tick from, Tick to) const
+{
+    if (to <= from)
+        return 0.0;
+    return static_cast<double>(total(from, to)) / toSeconds(to - from);
+}
+
+} // namespace performa::sim

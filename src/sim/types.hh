@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental types shared across the simulator: simulated time,
+ * identifiers, and unit helpers.
+ */
+
+#ifndef PERFORMA_SIM_TYPES_HH
+#define PERFORMA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace performa::sim {
+
+/**
+ * Simulated time in microseconds since the start of the run.
+ *
+ * A 64-bit microsecond tick covers ~584k years of simulated time, which
+ * comfortably exceeds any MTTF in the paper's fault loads (Table 3).
+ */
+using Tick = std::uint64_t;
+
+/** A tick value that is never reached; used as "no deadline". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Convert microseconds to ticks (identity; exists for readability). */
+constexpr Tick
+usec(std::uint64_t us)
+{
+    return us;
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msec(std::uint64_t ms)
+{
+    return ms * 1000;
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+sec(std::uint64_t s)
+{
+    return s * 1000 * 1000;
+}
+
+/** Convert minutes to ticks. */
+constexpr Tick
+minutes(std::uint64_t m)
+{
+    return sec(m * 60);
+}
+
+/** Convert hours to ticks. */
+constexpr Tick
+hours(std::uint64_t h)
+{
+    return minutes(h * 60);
+}
+
+/** Convert days to ticks. */
+constexpr Tick
+days(std::uint64_t d)
+{
+    return hours(d * 24);
+}
+
+/** Convert ticks to (floating point) seconds, for reporting. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Identifier of a cluster node (0-based). */
+using NodeId = std::uint32_t;
+
+/** A NodeId that refers to no node. */
+inline constexpr NodeId invalidNode = ~NodeId(0);
+
+/** Identifier of a web file (document) in the synthetic file set. */
+using FileId = std::uint32_t;
+
+/** Monotonically increasing identifier for client requests. */
+using RequestId = std::uint64_t;
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_TYPES_HH

@@ -1,0 +1,123 @@
+#include "workload/client_farm.hh"
+
+#include <memory>
+
+#include "press/messages.hh"
+#include "sim/logging.hh"
+
+namespace performa::wl {
+
+ClientFarm::ClientFarm(sim::Simulation &s, net::Network &client_net,
+                       std::vector<net::PortId> server_ports,
+                       std::vector<net::PortId> client_ports,
+                       WorkloadConfig cfg)
+    : sim_(s), net_(client_net), serverPorts_(std::move(server_ports)),
+      clientPorts_(std::move(client_ports)), cfg_(cfg),
+      zipf_(cfg.numFiles, cfg.zipfAlpha)
+{
+    if (serverPorts_.empty() || clientPorts_.empty())
+        FATAL("ClientFarm needs at least one server and client port");
+    for (net::PortId p : clientPorts_) {
+        net_.setHandler(p,
+            [this](net::Frame &&f) { onResponse(std::move(f)); });
+    }
+}
+
+void
+ClientFarm::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    ++generation_;
+    arrivalTick();
+}
+
+void
+ClientFarm::stop()
+{
+    running_ = false;
+    ++generation_;
+}
+
+void
+ClientFarm::arrivalTick()
+{
+    if (!running_)
+        return;
+    issueRequest();
+    sim::Tick mean =
+        static_cast<sim::Tick>(1e6 / cfg_.requestRate);
+    std::uint64_t gen = generation_;
+    sim_.scheduleIn(sim_.rng().exponential(mean), [this, gen] {
+        if (gen == generation_)
+            arrivalTick();
+    });
+}
+
+void
+ClientFarm::issueRequest()
+{
+    sim::RequestId id = nextReq_++;
+    sim::FileId file =
+        static_cast<sim::FileId>(zipf_.sample(sim_.rng()));
+
+    // Round-robin DNS: clients keep hitting a node's address whether
+    // or not the node is up.
+    net::PortId server = serverPorts_[rrServer_];
+    rrServer_ = (rrServer_ + 1) % serverPorts_.size();
+    net::PortId client = clientPorts_[rrClient_];
+    rrClient_ = (rrClient_ + 1) % clientPorts_.size();
+
+    pending_[id] = Pending{sim_.now()};
+    ++totalOffered_;
+    offered_.record(sim_.now());
+
+    auto body = std::make_shared<press::ClientRequestBody>();
+    body->req = id;
+    body->file = file;
+    body->replyPort = client;
+
+    net::Frame f;
+    f.srcPort = client;
+    f.dstPort = server;
+    f.proto = net::Proto::Client;
+    f.kind = press::ClientRequest;
+    f.bytes = cfg_.requestBytes;
+    f.payload = std::move(body);
+    net_.send(std::move(f));
+
+    // A single expiry at the completion deadline covers both the
+    // connect (2 s) and the request (6 s) timeout: an unanswered
+    // request is failed either way.
+    sim_.scheduleIn(cfg_.requestTimeout, [this, id] { expire(id); });
+}
+
+void
+ClientFarm::onResponse(net::Frame &&f)
+{
+    if (f.kind != press::ClientResponse || !f.payload)
+        return;
+    auto body =
+        std::static_pointer_cast<press::ClientResponseBody>(f.payload);
+    auto it = pending_.find(body->req);
+    if (it == pending_.end())
+        return; // already expired: the client hung up long ago
+    latency_.add(static_cast<double>(sim_.now() - it->second.sentAt));
+    pending_.erase(it);
+    ++totalServed_;
+    served_.record(sim_.now());
+}
+
+void
+ClientFarm::expire(sim::RequestId id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return; // completed in time
+    pending_.erase(it);
+    ++totalFailed_;
+    failed_.record(sim_.now());
+}
+
+} // namespace performa::wl

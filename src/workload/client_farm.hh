@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The client population: open-loop Poisson request generation over a
+ * Zipf-popular file set, round-robin DNS across the server nodes, and
+ * the paper's request timeouts (2 s to connect, 6 s to complete).
+ * Successes and failures are recorded into per-second time series —
+ * the raw material of the paper's throughput plots and of the
+ * availability metric (fraction of requests served successfully).
+ */
+
+#ifndef PERFORMA_WORKLOAD_CLIENT_FARM_HH
+#define PERFORMA_WORKLOAD_CLIENT_FARM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time_series.hh"
+#include "sim/types.hh"
+
+namespace performa::wl {
+
+/** Workload parameters. */
+struct WorkloadConfig
+{
+    double requestRate = 6000.0; ///< aggregate offered load (req/s)
+    std::size_t numFiles = 60000; ///< working set (uniform size)
+    double zipfAlpha = 0.8;      ///< web-trace-like popularity skew
+    sim::Tick connectTimeout = sim::sec(2);
+    sim::Tick requestTimeout = sim::sec(6);
+    std::uint64_t requestBytes = 300;
+};
+
+/**
+ * Drives the cluster through the client network. One instance models
+ * the whole set of client machines.
+ */
+class ClientFarm
+{
+  public:
+    ClientFarm(sim::Simulation &s, net::Network &client_net,
+               std::vector<net::PortId> server_ports,
+               std::vector<net::PortId> client_ports, WorkloadConfig cfg);
+
+    /** Begin generating requests (runs until stop()). */
+    void start();
+
+    /** Stop generating new requests. */
+    void stop();
+
+    const sim::TimeSeries &served() const { return served_; }
+    const sim::TimeSeries &failed() const { return failed_; }
+    const sim::TimeSeries &offered() const { return offered_; }
+
+    std::uint64_t totalServed() const { return totalServed_; }
+    std::uint64_t totalFailed() const { return totalFailed_; }
+    std::uint64_t totalOffered() const { return totalOffered_; }
+
+    /** In-flight (not yet answered or timed out) request count. */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Response-time statistics of served requests (microseconds). */
+    const sim::OnlineStats &latency() const { return latency_; }
+
+    const WorkloadConfig &config() const { return cfg_; }
+    const sim::ZipfSampler &popularity() const { return zipf_; }
+
+  private:
+    struct Pending
+    {
+        sim::Tick sentAt;
+    };
+
+    void arrivalTick();
+    void issueRequest();
+    void onResponse(net::Frame &&f);
+    void expire(sim::RequestId id);
+
+    sim::Simulation &sim_;
+    net::Network &net_;
+    std::vector<net::PortId> serverPorts_;
+    std::vector<net::PortId> clientPorts_;
+    WorkloadConfig cfg_;
+    sim::ZipfSampler zipf_;
+
+    bool running_ = false;
+    std::uint64_t generation_ = 0;
+    sim::RequestId nextReq_ = 1;
+    std::size_t rrServer_ = 0;
+    std::size_t rrClient_ = 0;
+
+    std::unordered_map<sim::RequestId, Pending> pending_;
+
+    sim::TimeSeries served_;
+    sim::TimeSeries failed_;
+    sim::TimeSeries offered_;
+    sim::OnlineStats latency_;
+    std::uint64_t totalServed_ = 0;
+    std::uint64_t totalFailed_ = 0;
+    std::uint64_t totalOffered_ = 0;
+};
+
+} // namespace performa::wl
+
+#endif // PERFORMA_WORKLOAD_CLIENT_FARM_HH

@@ -1,0 +1,120 @@
+#include "workload/closed_loop.hh"
+
+#include <memory>
+
+#include "press/messages.hh"
+#include "sim/logging.hh"
+
+namespace performa::wl {
+
+ClosedLoopFarm::ClosedLoopFarm(sim::Simulation &s,
+                               net::Network &client_net,
+                               std::vector<net::PortId> server_ports,
+                               std::vector<net::PortId> client_ports,
+                               ClosedLoopConfig cfg)
+    : sim_(s), net_(client_net), serverPorts_(std::move(server_ports)),
+      clientPorts_(std::move(client_ports)), cfg_(cfg),
+      zipf_(cfg.numFiles, cfg.zipfAlpha)
+{
+    if (serverPorts_.empty() || clientPorts_.empty())
+        FATAL("ClosedLoopFarm needs server and client ports");
+    for (net::PortId p : clientPorts_) {
+        net_.setHandler(p,
+            [this](net::Frame &&f) { onResponse(std::move(f)); });
+    }
+}
+
+void
+ClosedLoopFarm::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    ++generation_;
+    // Stagger the users' first requests across one think time.
+    for (std::size_t u = 0; u < cfg_.users; ++u)
+        think(u);
+}
+
+void
+ClosedLoopFarm::stop()
+{
+    running_ = false;
+    ++generation_;
+    pending_.clear();
+}
+
+void
+ClosedLoopFarm::think(std::size_t user)
+{
+    std::uint64_t gen = generation_;
+    sim_.scheduleIn(sim_.rng().exponential(cfg_.meanThinkTime),
+        [this, gen, user] {
+            if (gen == generation_ && running_)
+                issue(user);
+        });
+}
+
+void
+ClosedLoopFarm::issue(std::size_t user)
+{
+    sim::RequestId id = nextReq_++;
+    sim::FileId file =
+        static_cast<sim::FileId>(zipf_.sample(sim_.rng()));
+    net::PortId server = serverPorts_[rrServer_];
+    rrServer_ = (rrServer_ + 1) % serverPorts_.size();
+    net::PortId client = clientPorts_[user % clientPorts_.size()];
+
+    pending_[id] = Pending{user, sim_.now()};
+
+    auto body = std::make_shared<press::ClientRequestBody>();
+    body->req = id;
+    body->file = file;
+    body->replyPort = client;
+
+    net::Frame f;
+    f.srcPort = client;
+    f.dstPort = server;
+    f.proto = net::Proto::Client;
+    f.kind = press::ClientRequest;
+    f.bytes = cfg_.requestBytes;
+    f.payload = std::move(body);
+    net_.send(std::move(f));
+
+    sim_.scheduleIn(cfg_.requestTimeout, [this, id] { expire(id); });
+}
+
+void
+ClosedLoopFarm::onResponse(net::Frame &&f)
+{
+    if (f.kind != press::ClientResponse || !f.payload)
+        return;
+    auto body =
+        std::static_pointer_cast<press::ClientResponseBody>(f.payload);
+    auto it = pending_.find(body->req);
+    if (it == pending_.end())
+        return;
+    std::size_t user = it->second.user;
+    latency_.add(static_cast<double>(sim_.now() - it->second.sentAt));
+    pending_.erase(it);
+    ++totalServed_;
+    served_.record(sim_.now());
+    if (running_)
+        think(user); // the user reads the page, then clicks again
+}
+
+void
+ClosedLoopFarm::expire(sim::RequestId id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return;
+    std::size_t user = it->second.user;
+    pending_.erase(it);
+    ++totalFailed_;
+    failed_.record(sim_.now());
+    if (running_)
+        think(user); // give up and retry something else
+}
+
+} // namespace performa::wl

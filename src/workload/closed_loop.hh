@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Closed-loop client population: a fixed number of users that each
+ * issue one request, wait for the response (or the timeout), think
+ * for an exponentially distributed pause, and repeat. Complements the
+ * paper's open-loop Poisson clients — closed loops self-throttle
+ * under server degradation, which changes how faults surface at the
+ * client (fewer timeouts, lower offered load) and is the common model
+ * for session-oriented traffic.
+ */
+
+#ifndef PERFORMA_WORKLOAD_CLOSED_LOOP_HH
+#define PERFORMA_WORKLOAD_CLOSED_LOOP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time_series.hh"
+#include "sim/types.hh"
+
+namespace performa::wl {
+
+/** Closed-loop population parameters. */
+struct ClosedLoopConfig
+{
+    std::size_t users = 400;
+    sim::Tick meanThinkTime = sim::msec(50);
+    std::size_t numFiles = 60000;
+    double zipfAlpha = 0.8;
+    sim::Tick requestTimeout = sim::sec(6);
+    std::uint64_t requestBytes = 300;
+};
+
+/**
+ * Drives the cluster with a fixed user population. Users pick servers
+ * round-robin per request (round-robin DNS), like the open-loop farm.
+ */
+class ClosedLoopFarm
+{
+  public:
+    ClosedLoopFarm(sim::Simulation &s, net::Network &client_net,
+                   std::vector<net::PortId> server_ports,
+                   std::vector<net::PortId> client_ports,
+                   ClosedLoopConfig cfg);
+
+    void start();
+    void stop();
+
+    const sim::TimeSeries &served() const { return served_; }
+    const sim::TimeSeries &failed() const { return failed_; }
+    std::uint64_t totalServed() const { return totalServed_; }
+    std::uint64_t totalFailed() const { return totalFailed_; }
+    const sim::OnlineStats &latency() const { return latency_; }
+    const ClosedLoopConfig &config() const { return cfg_; }
+
+  private:
+    void think(std::size_t user);
+    void issue(std::size_t user);
+    void onResponse(net::Frame &&f);
+    void expire(sim::RequestId id);
+
+    sim::Simulation &sim_;
+    net::Network &net_;
+    std::vector<net::PortId> serverPorts_;
+    std::vector<net::PortId> clientPorts_;
+    ClosedLoopConfig cfg_;
+    sim::ZipfSampler zipf_;
+
+    bool running_ = false;
+    std::uint64_t generation_ = 0;
+    sim::RequestId nextReq_ = 1;
+    std::size_t rrServer_ = 0;
+
+    struct Pending
+    {
+        std::size_t user;
+        sim::Tick sentAt;
+    };
+    std::unordered_map<sim::RequestId, Pending> pending_;
+
+    sim::TimeSeries served_;
+    sim::TimeSeries failed_;
+    sim::OnlineStats latency_;
+    std::uint64_t totalServed_ = 0;
+    std::uint64_t totalFailed_ = 0;
+};
+
+} // namespace performa::wl
+
+#endif // PERFORMA_WORKLOAD_CLOSED_LOOP_HH

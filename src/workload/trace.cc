@@ -1,0 +1,81 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workload/client_farm.hh"
+
+namespace performa::wl {
+
+SyntheticTrace
+SyntheticTrace::generate(const TraceParams &params, std::uint64_t seed)
+{
+    if (params.numFiles == 0)
+        FATAL("SyntheticTrace needs at least one file");
+
+    SyntheticTrace t;
+    t.alpha_ = params.zipfAlpha;
+    t.sizes_.reserve(params.numFiles);
+
+    sim::Rng rng(seed);
+    std::lognormal_distribution<double> body(params.logMeanBytes,
+                                             params.logSigma);
+
+    for (std::size_t i = 0; i < params.numFiles; ++i) {
+        double bytes;
+        if (rng.uniform() < params.paretoTailProb) {
+            // Pareto tail: min / U^(1/alpha).
+            double u = std::max(rng.uniform(), 1e-9);
+            bytes = static_cast<double>(params.paretoMinBytes) /
+                    std::pow(u, 1.0 / params.paretoAlpha);
+        } else {
+            bytes = body(rng.engine());
+        }
+        bytes = std::clamp(bytes, 64.0,
+                           static_cast<double>(params.maxFileBytes));
+        t.sizes_.push_back(static_cast<std::uint64_t>(bytes));
+    }
+    return t;
+}
+
+double
+SyntheticTrace::meanBytes() const
+{
+    if (sizes_.empty())
+        return 0.0;
+    long double sum = 0;
+    for (auto s : sizes_)
+        sum += static_cast<long double>(s);
+    return static_cast<double>(sum / sizes_.size());
+}
+
+std::uint64_t
+SyntheticTrace::totalBytes() const
+{
+    std::uint64_t sum = 0;
+    for (auto s : sizes_)
+        sum += s;
+    return sum;
+}
+
+FlatFileSet
+SyntheticTrace::flatten() const
+{
+    FlatFileSet f;
+    f.numFiles = sizes_.size();
+    f.fileBytes = static_cast<std::uint64_t>(meanBytes());
+    f.zipfAlpha = alpha_;
+    return f;
+}
+
+void
+applyFileSet(const FlatFileSet &fs, press::ClusterConfig &cluster,
+             WorkloadConfig &workload)
+{
+    cluster.press.fileBytes = fs.fileBytes;
+    workload.numFiles = fs.numFiles;
+    workload.zipfAlpha = fs.zipfAlpha;
+}
+
+} // namespace performa::wl

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the closed-loop client population.
+ */
+
+#include <gtest/gtest.h>
+
+#include "press/messages.hh"
+#include "sim/simulation.hh"
+#include "workload/closed_loop.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+namespace {
+
+struct FarmWorld
+{
+    Simulation s{3};
+    net::Network n{s};
+    std::vector<net::PortId> servers;
+    std::vector<net::PortId> clients;
+    bool respond = true;
+    Tick serviceDelay = usec(200);
+
+    FarmWorld()
+    {
+        for (int i = 0; i < 4; ++i) {
+            net::PortId p = n.addPort();
+            servers.push_back(p);
+            n.setHandler(p, [this, p](net::Frame &&f) {
+                if (!respond)
+                    return;
+                auto req = std::static_pointer_cast<
+                    press::ClientRequestBody>(f.payload);
+                auto reply = [this, p, req] {
+                    net::Frame r;
+                    r.srcPort = p;
+                    r.dstPort = req->replyPort;
+                    r.proto = net::Proto::Client;
+                    r.kind = press::ClientResponse;
+                    r.bytes = 8192;
+                    auto body =
+                        std::make_shared<press::ClientResponseBody>();
+                    body->req = req->req;
+                    r.payload = std::move(body);
+                    n.send(std::move(r));
+                };
+                s.scheduleIn(serviceDelay, reply);
+            });
+        }
+        for (int i = 0; i < 2; ++i)
+            clients.push_back(n.addPort());
+    }
+};
+
+} // namespace
+
+TEST(ClosedLoop, UsersCycleThroughRequests)
+{
+    FarmWorld w;
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 50;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(10));
+    // ~50 users / (10ms think + ~0.5ms service) ~ 4700 req/s; allow
+    // broad slack, the point is sustained cycling.
+    EXPECT_GT(farm.totalServed(), 20000u);
+    EXPECT_EQ(farm.totalFailed(), 0u);
+}
+
+TEST(ClosedLoop, ThroughputScalesWithUsers)
+{
+    double rates[2];
+    int idx = 0;
+    for (std::size_t users : {20, 80}) {
+        FarmWorld w;
+        wl::ClosedLoopConfig cfg;
+        cfg.users = users;
+        cfg.meanThinkTime = msec(20);
+        cfg.numFiles = 100;
+        wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+        farm.start();
+        w.s.runUntil(sec(10));
+        rates[idx++] = farm.served().meanRate(sec(2), sec(10));
+    }
+    EXPECT_GT(rates[1], 3.0 * rates[0]);
+}
+
+TEST(ClosedLoop, SelfThrottlesWhenServerIsSilent)
+{
+    FarmWorld w;
+    w.respond = false;
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 30;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    cfg.requestTimeout = sec(2);
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(20));
+    // Each user can fail at most ~once per timeout: bounded failures,
+    // unlike the open-loop farm which keeps firing.
+    EXPECT_LE(farm.totalFailed(), 30u * 11u);
+    EXPECT_GT(farm.totalFailed(), 30u * 5u);
+    EXPECT_EQ(farm.totalServed(), 0u);
+}
+
+TEST(ClosedLoop, StopCeasesActivity)
+{
+    FarmWorld w;
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 10;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(2));
+    farm.stop();
+    std::uint64_t served = farm.totalServed();
+    w.s.runUntil(sec(10));
+    EXPECT_EQ(farm.totalServed(), served);
+}
+
+TEST(ClosedLoop, LatencyReflectsServiceDelay)
+{
+    FarmWorld w;
+    w.serviceDelay = msec(5);
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 10;
+    cfg.meanThinkTime = msec(20);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(10));
+    EXPECT_GT(farm.latency().mean(), 5000.0); // >= the 5ms service
+    EXPECT_LT(farm.latency().mean(), 8000.0);
+}

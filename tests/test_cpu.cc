@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the serial CPU model: FIFO retirement, cost
+ * accounting, nested pauses, and crash clearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/cpu.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+TEST(Cpu, ItemsRetireInFifoOrderWithCosts)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    std::vector<std::pair<int, Tick>> done;
+    cpu.exec(usec(100), [&] { done.push_back({1, s.now()}); });
+    cpu.exec(usec(50), [&] { done.push_back({2, s.now()}); });
+    cpu.exec(usec(10), [&] { done.push_back({3, s.now()}); });
+    s.runUntil(sec(1));
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], (std::pair<int, Tick>{1, usec(100)}));
+    EXPECT_EQ(done[1], (std::pair<int, Tick>{2, usec(150)}));
+    EXPECT_EQ(done[2], (std::pair<int, Tick>{3, usec(160)}));
+    EXPECT_EQ(cpu.busyTime(), usec(160));
+    EXPECT_TRUE(cpu.idle());
+}
+
+TEST(Cpu, SaturationQueuesWork)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    int done = 0;
+    for (int i = 0; i < 10; ++i)
+        cpu.exec(usec(100), [&] { ++done; });
+    EXPECT_EQ(cpu.queueLength(), 9u); // one in flight
+    s.runUntil(usec(500));
+    EXPECT_EQ(done, 5);
+    s.runUntil(usec(1000));
+    EXPECT_EQ(done, 10);
+}
+
+TEST(Cpu, PauseStopsNewItemsButFinishesInFlight)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    int done = 0;
+    cpu.exec(usec(100), [&] { ++done; });
+    cpu.exec(usec(100), [&] { ++done; });
+    s.runUntil(usec(50));
+    cpu.pause();
+    s.runUntil(usec(500));
+    EXPECT_EQ(done, 1); // in-flight item retired, next one held
+    cpu.resume();
+    s.runUntil(usec(700));
+    EXPECT_EQ(done, 2);
+}
+
+TEST(Cpu, PausesNest)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    int done = 0;
+    cpu.pause();
+    cpu.pause();
+    cpu.exec(usec(10), [&] { ++done; });
+    cpu.resume();
+    s.runUntil(usec(100));
+    EXPECT_EQ(done, 0); // still paused once
+    cpu.resume();
+    s.runUntil(usec(200));
+    EXPECT_EQ(done, 1);
+}
+
+TEST(Cpu, ClearDropsQueuedAndInFlight)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    int done = 0;
+    cpu.exec(usec(100), [&] { ++done; });
+    cpu.exec(usec(100), [&] { ++done; });
+    s.runUntil(usec(10));
+    cpu.clear();
+    s.runUntil(sec(1));
+    EXPECT_EQ(done, 0);
+    EXPECT_TRUE(cpu.idle());
+}
+
+TEST(Cpu, UsableAfterClear)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    int done = 0;
+    cpu.exec(usec(100), [&] { ++done; });
+    cpu.clear();
+    cpu.exec(usec(100), [&] { ++done; });
+    s.runUntil(sec(1));
+    EXPECT_EQ(done, 1);
+}
+
+TEST(Cpu, ResumeWithoutPauseIsHarmless)
+{
+    Simulation s;
+    osim::Cpu cpu(s);
+    cpu.resume();
+    int done = 0;
+    cpu.exec(usec(5), [&] { ++done; });
+    s.runUntil(usec(100));
+    EXPECT_EQ(done, 1);
+}

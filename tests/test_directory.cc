@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit and property tests for the cluster-wide caching directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "press/directory.hh"
+
+using namespace performa;
+using press::Directory;
+
+TEST(Directory, AddAndQuery)
+{
+    Directory d;
+    d.add(10, 1);
+    d.add(10, 2);
+    d.add(11, 1);
+    EXPECT_EQ(d.nodesFor(10).size(), 2u);
+    EXPECT_EQ(d.nodesFor(11).size(), 1u);
+    EXPECT_TRUE(d.nodesFor(99).empty());
+}
+
+TEST(Directory, AddIsIdempotent)
+{
+    Directory d;
+    d.add(10, 1);
+    d.add(10, 1);
+    EXPECT_EQ(d.nodesFor(10).size(), 1u);
+}
+
+TEST(Directory, RemoveSingleEntry)
+{
+    Directory d;
+    d.add(10, 1);
+    d.add(10, 2);
+    d.remove(10, 1);
+    ASSERT_EQ(d.nodesFor(10).size(), 1u);
+    EXPECT_EQ(d.nodesFor(10)[0], 2u);
+    d.remove(10, 2);
+    EXPECT_TRUE(d.nodesFor(10).empty());
+}
+
+TEST(Directory, RemoveMissingIsNoop)
+{
+    Directory d;
+    d.add(10, 1);
+    d.remove(10, 5);
+    d.remove(77, 1);
+    EXPECT_EQ(d.nodesFor(10).size(), 1u);
+}
+
+TEST(Directory, PurgeNodeRemovesAllItsEntries)
+{
+    Directory d;
+    for (sim::FileId f = 0; f < 100; ++f) {
+        d.add(f, 1);
+        if (f % 2 == 0)
+            d.add(f, 2);
+    }
+    EXPECT_EQ(d.entriesOf(1), 100u);
+    d.purgeNode(1);
+    EXPECT_EQ(d.entriesOf(1), 0u);
+    for (sim::FileId f = 0; f < 100; ++f) {
+        if (f % 2 == 0) {
+            ASSERT_EQ(d.nodesFor(f).size(), 1u);
+            EXPECT_EQ(d.nodesFor(f)[0], 2u);
+        } else {
+            EXPECT_TRUE(d.nodesFor(f).empty());
+        }
+    }
+}
+
+TEST(Directory, ClearEmptiesEverything)
+{
+    Directory d;
+    d.add(1, 1);
+    d.add(2, 2);
+    d.clear();
+    EXPECT_TRUE(d.nodesFor(1).empty());
+    EXPECT_EQ(d.entriesOf(2), 0u);
+}
+
+/** Property: the two indices stay consistent under random ops. */
+class DirectorySweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DirectorySweep, IndicesConsistent)
+{
+    Directory d;
+    std::mt19937_64 rng(GetParam());
+    for (int i = 0; i < 3000; ++i) {
+        auto f = static_cast<sim::FileId>(rng() % 50);
+        auto n = static_cast<sim::NodeId>(rng() % 4);
+        switch (rng() % 3) {
+          case 0:
+            d.add(f, n);
+            break;
+          case 1:
+            d.remove(f, n);
+            break;
+          case 2:
+            if (i % 17 == 0)
+                d.purgeNode(n);
+            break;
+        }
+    }
+    // Cross-check: entriesOf(n) equals the number of files listing n.
+    for (sim::NodeId n = 0; n < 4; ++n) {
+        std::size_t count = 0;
+        for (sim::FileId f = 0; f < 50; ++f) {
+            const auto &v = d.nodesFor(f);
+            count += std::count(v.begin(), v.end(), n);
+        }
+        EXPECT_EQ(count, d.entriesOf(n)) << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectorySweep,
+                         ::testing::Values(1u, 7u, 1234u));

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the per-node disk array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "press/disk.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+TEST(DiskArray, SingleReadServiceTime)
+{
+    Simulation s;
+    press::DiskArray d(s, 1, msec(7), 40.0);
+    Tick done_at = 0;
+    d.read(8000, [&] { done_at = s.now(); });
+    s.runUntil(sec(1));
+    EXPECT_EQ(done_at, msec(7) + usec(200)); // 7 ms seek + 8000/40 us
+    EXPECT_EQ(d.reads(), 1u);
+}
+
+TEST(DiskArray, TwoDisksServeInParallel)
+{
+    Simulation s;
+    press::DiskArray d(s, 2, msec(10), 40.0);
+    std::vector<Tick> done;
+    for (int i = 0; i < 2; ++i)
+        d.read(4000, [&] { done.push_back(s.now()); });
+    s.runUntil(sec(1));
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], done[1]); // independent disks
+}
+
+TEST(DiskArray, ThirdReadQueuesBehindEarliestFree)
+{
+    Simulation s;
+    press::DiskArray d(s, 2, msec(10), 40.0);
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i)
+        d.read(4000, [&] { done.push_back(s.now()); });
+    s.runUntil(sec(1));
+    ASSERT_EQ(done.size(), 3u);
+    Tick one = msec(10) + usec(100);
+    EXPECT_EQ(done[0], one);
+    EXPECT_EQ(done[2], 2 * one);
+}
+
+TEST(DiskArray, BacklogReflectsQueuedWork)
+{
+    Simulation s;
+    press::DiskArray d(s, 1, msec(10), 40.0);
+    EXPECT_EQ(d.backlog(), 0u);
+    d.read(4000, [] {});
+    d.read(4000, [] {});
+    EXPECT_GT(d.backlog(), msec(20));
+    s.runUntil(sec(1));
+    EXPECT_EQ(d.backlog(), 0u);
+}
+
+TEST(DiskArray, ThroughputBoundedByServiceRate)
+{
+    Simulation s;
+    press::DiskArray d(s, 2, msec(8), 40.0);
+    int done = 0;
+    // Offer far more reads than 2 disks can serve in one second.
+    for (int i = 0; i < 1000; ++i)
+        d.read(8000, [&] { ++done; });
+    s.runUntil(sec(1));
+    // Service time 8.2 ms  =>  ~122 reads/disk/sec.
+    EXPECT_NEAR(done, 244, 8);
+}

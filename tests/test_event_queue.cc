@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, determinism,
+ * cancellation, and time-advance semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace performa::sim;
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {});
+    q.runAll();
+    q.scheduleIn(50, [&] { seen = q.now(); });
+    q.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            q.scheduleIn(1, recurse);
+    };
+    q.scheduleIn(1, recurse);
+    q.runAll();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    q.cancel(h);
+    q.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    int runs = 0;
+    EventHandle h = q.schedule(10, [&] { ++runs; });
+    q.runAll();
+    EXPECT_FALSE(h.pending());
+    q.cancel(h); // harmless
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, CancelDefaultHandleIsNoop)
+{
+    EventQueue q;
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    q.cancel(h); // must not crash
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToLimit)
+{
+    EventQueue q;
+    int runs = 0;
+    q.schedule(10, [&] { ++runs; });
+    q.schedule(100, [&] { ++runs; });
+    q.runUntil(50);
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(q.now(), 50u);
+    q.runUntil(200);
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(q.now(), 200u);
+}
+
+TEST(EventQueue, RunUntilIncludesEventsAtLimit)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(50, [&] { ran = true; });
+    q.runUntil(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    q.schedule(5, [] {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, ExecutedCounterCountsOnlyFired)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.cancel(h);
+    q.runAll();
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+/** Property sweep: N events at random times always run sorted. */
+class EventQueueOrderSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EventQueueOrderSweep, AlwaysSorted)
+{
+    EventQueue q;
+    std::mt19937_64 rng(GetParam());
+    std::vector<Tick> fired;
+    for (int i = 0; i < 500; ++i) {
+        Tick t = rng() % 10000;
+        q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.runAll();
+    ASSERT_EQ(fired.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueOrderSweep,
+                         ::testing::Values(1, 2, 3, 17, 99));

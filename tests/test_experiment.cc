@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the phase-1 experiment runner, stage extraction, and the
+ * behaviour database round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/behavior_db.hh"
+#include "exp/replicate.hh"
+#include "exp/stages.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+namespace {
+
+/** A fast, small experiment (low load, short run). */
+exp::ExperimentConfig
+fastConfig(press::Version v, fault::FaultKind k)
+{
+    exp::ExperimentConfig cfg;
+    cfg.cluster.press.version = v;
+    cfg.workload.requestRate = 1200;
+    cfg.workload.numFiles = 20000;
+    cfg.injectAt = sec(20);
+    fault::FaultSpec spec;
+    spec.kind = k;
+    spec.target = 3;
+    spec.duration = sec(30);
+    cfg.fault = spec;
+    cfg.duration = sec(110);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Experiment, FaultFreeRunIsCleanAndStable)
+{
+    exp::ExperimentConfig cfg;
+    cfg.cluster.press.version = press::Version::TcpPress;
+    cfg.workload.requestRate = 1200;
+    cfg.workload.numFiles = 20000;
+    cfg.fault.reset();
+    cfg.duration = sec(60);
+    exp::ExperimentResult res = exp::runExperiment(cfg);
+    EXPECT_GT(res.normalThroughput, 1000);
+    EXPECT_GT(res.availability, 0.99);
+    EXPECT_FALSE(res.endSplintered);
+    EXPECT_EQ(res.markers.count(exp::MarkerKind::Inject), 0u);
+    EXPECT_EQ(res.markers.count(exp::MarkerKind::Started), 4u);
+}
+
+TEST(Experiment, MarkersRecordInjectAndRecover)
+{
+    auto cfg = fastConfig(press::Version::ViaPress0,
+                          fault::FaultKind::KernelMemAlloc);
+    exp::ExperimentResult res = exp::runExperiment(cfg);
+    EXPECT_EQ(res.markers.count(exp::MarkerKind::Inject), 1u);
+    EXPECT_EQ(res.markers.count(exp::MarkerKind::Recover), 1u);
+    auto inj = res.markers.firstAfter(exp::MarkerKind::Inject, 0);
+    ASSERT_TRUE(inj.has_value());
+    EXPECT_EQ(inj->t, sec(20));
+}
+
+TEST(Experiment, DeterministicForSameSeed)
+{
+    auto cfg = fastConfig(press::Version::TcpPress,
+                          fault::FaultKind::AppCrash);
+    auto r1 = exp::runExperiment(cfg);
+    auto r2 = exp::runExperiment(cfg);
+    EXPECT_EQ(r1.served.total(0, cfg.duration),
+              r2.served.total(0, cfg.duration));
+    EXPECT_EQ(r1.markers.all().size(), r2.markers.all().size());
+}
+
+TEST(Experiment, SeedChangesJitterButNotShape)
+{
+    auto cfg = fastConfig(press::Version::TcpPress,
+                          fault::FaultKind::AppCrash);
+    auto r1 = exp::runExperiment(cfg);
+    cfg.seed = 1234;
+    auto r2 = exp::runExperiment(cfg);
+    EXPECT_NEAR(r1.normalThroughput, r2.normalThroughput,
+                0.1 * r1.normalThroughput);
+}
+
+TEST(Experiment, OperatorResetRestoresCluster)
+{
+    auto cfg = fastConfig(press::Version::ViaPress0,
+                          fault::FaultKind::LinkDown);
+    cfg.operatorResetAt = sec(70);
+    exp::ExperimentResult res = exp::runExperiment(cfg);
+    EXPECT_EQ(res.markers.count(exp::MarkerKind::OperatorReset), 1u);
+    EXPECT_FALSE(res.endSplintered);
+    // Post-reset throughput back near normal.
+    double tail = res.served.meanRate(sec(90), sec(110));
+    EXPECT_GT(tail, 0.9 * res.normalThroughput);
+}
+
+TEST(StageExtraction, DetectedFaultHasShortStageA)
+{
+    auto cfg = fastConfig(press::Version::ViaPress0,
+                          fault::FaultKind::LinkDown);
+    auto res = exp::runExperiment(cfg);
+    auto mb = exp::extractBehavior(res, *cfg.fault);
+    EXPECT_TRUE(mb.detected);
+    EXPECT_LT(mb.dur[model::StageA], 1.0); // connection break: instant
+    EXPECT_FALSE(mb.healed);               // splintered
+}
+
+TEST(StageExtraction, UndetectedStallCoversFault)
+{
+    auto cfg = fastConfig(press::Version::TcpPress,
+                          fault::FaultKind::KernelMemAlloc);
+    auto res = exp::runExperiment(cfg);
+    auto mb = exp::extractBehavior(res, *cfg.fault);
+    EXPECT_FALSE(mb.detected);
+    EXPECT_NEAR(mb.dur[model::StageA], 30.0, 0.5);
+    EXPECT_LT(mb.tput[model::StageA], 0.2 * mb.normalTput);
+    EXPECT_TRUE(mb.healed);
+    EXPECT_DOUBLE_EQ(mb.tput[model::StageE], mb.normalTput);
+}
+
+TEST(StageExtraction, BenignFaultLooksLikeNormalOperation)
+{
+    auto cfg = fastConfig(press::Version::ViaPress0,
+                          fault::FaultKind::KernelMemAlloc);
+    auto res = exp::runExperiment(cfg);
+    auto mb = exp::extractBehavior(res, *cfg.fault);
+    EXPECT_TRUE(mb.healed);
+    EXPECT_GT(mb.tput[model::StageA], 0.95 * mb.normalTput);
+}
+
+TEST(BehaviorDb, SetGetHas)
+{
+    exp::BehaviorDb db;
+    EXPECT_FALSE(db.has(press::Version::TcpPress,
+                        fault::FaultKind::LinkDown));
+    model::MeasuredBehavior mb;
+    mb.normalTput = 4242;
+    db.set(press::Version::TcpPress, fault::FaultKind::LinkDown, mb);
+    EXPECT_TRUE(db.has(press::Version::TcpPress,
+                       fault::FaultKind::LinkDown));
+    EXPECT_DOUBLE_EQ(db.get(press::Version::TcpPress,
+                            fault::FaultKind::LinkDown)
+                         .normalTput,
+                     4242);
+}
+
+TEST(BehaviorDb, CsvRoundTrip)
+{
+    exp::BehaviorDb db;
+    model::MeasuredBehavior mb;
+    mb.normalTput = 5000.5;
+    mb.detected = true;
+    mb.healed = false;
+    for (int s = 0; s < model::numStages; ++s) {
+        mb.tput[static_cast<std::size_t>(s)] = 100.0 * s;
+        mb.dur[static_cast<std::size_t>(s)] = 1.5 * s;
+    }
+    db.set(press::Version::ViaPress3, fault::FaultKind::NodeFreeze, mb);
+
+    std::string path = ::testing::TempDir() + "/behaviors.csv";
+    db.save(path);
+
+    exp::BehaviorDb loaded;
+    ASSERT_TRUE(loaded.load(path));
+    const auto &got = loaded.get(press::Version::ViaPress3,
+                                 fault::FaultKind::NodeFreeze);
+    EXPECT_DOUBLE_EQ(got.normalTput, 5000.5);
+    EXPECT_TRUE(got.detected);
+    EXPECT_FALSE(got.healed);
+    for (int s = 0; s < model::numStages; ++s) {
+        EXPECT_DOUBLE_EQ(got.tput[static_cast<std::size_t>(s)],
+                         100.0 * s);
+        EXPECT_DOUBLE_EQ(got.dur[static_cast<std::size_t>(s)], 1.5 * s);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BehaviorDb, LoadMissingFileReturnsFalse)
+{
+    exp::BehaviorDb db;
+    EXPECT_FALSE(db.load("/nonexistent/behaviors.csv"));
+}
+
+TEST(BehaviorDb, LookupAdapterFetchesRows)
+{
+    exp::BehaviorDb db;
+    model::MeasuredBehavior mb;
+    mb.normalTput = 7;
+    db.set(press::Version::TcpPress, fault::FaultKind::AppCrash, mb);
+    auto lookup = db.lookup();
+    EXPECT_DOUBLE_EQ(
+        lookup(press::Version::TcpPress, fault::FaultKind::AppCrash)
+            .normalTput,
+        7);
+}
+
+TEST(Replication, AggregatesAcrossSeeds)
+{
+    auto cfg = fastConfig(press::Version::ViaPress0,
+                          fault::FaultKind::LinkDown);
+    exp::BehaviorEnsemble e =
+        exp::replicateBehavior(cfg, {1, 2, 3});
+    EXPECT_EQ(e.runs, 3);
+    EXPECT_TRUE(e.mean.detected);
+    EXPECT_FALSE(e.mean.healed);
+    EXPECT_TRUE(e.unanimous());
+    EXPECT_GT(e.mean.normalTput, 1000);
+    // Seeds jitter throughput by a couple percent at most.
+    EXPECT_LT(e.tnStddev, 0.05 * e.mean.normalTput);
+}
+
+TEST(ServerStats, CountersExplainTheWorkload)
+{
+    exp::ExperimentConfig cfg;
+    cfg.cluster.press.version = press::Version::TcpPress;
+    cfg.workload.requestRate = 1200;
+    cfg.workload.numFiles = 20000;
+    cfg.fault.reset();
+    cfg.duration = sec(30);
+
+    sim::Simulation sim(cfg.seed);
+    press::Cluster cluster(sim, cfg.cluster);
+    wl::ClientFarm farm(sim, cluster.clientNet(),
+                        cluster.serverClientPorts(),
+                        cluster.clientMachinePorts(), cfg.workload);
+    cluster.startAll();
+    sim.runUntil(sec(2));
+    cluster.prewarm(cfg.workload.numFiles);
+    farm.start();
+    sim.runUntil(sec(30));
+
+    std::uint64_t accepted = 0, responses = 0, hits = 0, fwd = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const auto &st = cluster.server(i).stats();
+        accepted += st.accepted;
+        responses += st.responses;
+        hits += st.localHits;
+        fwd += st.forwarded;
+        // Dispatch outcomes partition the accepted requests.
+        EXPECT_EQ(st.accepted,
+                  st.localHits + st.forwarded + st.localMisses);
+        EXPECT_EQ(st.refused, 0u);
+    }
+    EXPECT_EQ(responses, farm.totalServed());
+    EXPECT_GT(accepted, 0u);
+    // Round-robin DNS over a striped cache: ~25% local, ~75% forwarded.
+    double fwd_rate = double(fwd) / double(hits + fwd);
+    EXPECT_NEAR(fwd_rate, 0.75, 0.05);
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the long-run model-validation harness: at modest fault
+ * rates the phase-2 model must track directly simulated availability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/long_run.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+namespace {
+
+exp::LongRunConfig
+fastConfig(press::Version v)
+{
+    exp::LongRunConfig cfg;
+    cfg.version = v;
+    // Only quickly self-healing faults, short horizon: fast test.
+    cfg.faults = {
+        {fault::FaultKind::AppCrash, 900.0, sec(12)},
+        {fault::FaultKind::KernelMemAlloc, 1200.0, sec(20)},
+    };
+    cfg.duration = minutes(8);
+    return cfg;
+}
+
+} // namespace
+
+TEST(LongRunValidation, ModelTracksSimulationOnVia)
+{
+    exp::LongRunResult r = exp::validateModel(
+        fastConfig(press::Version::ViaPress0));
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_GT(r.measuredAvailability, 0.8);
+    EXPECT_LE(r.measuredAvailability, 1.0);
+    EXPECT_GT(r.predictedAvailability, 0.8);
+    // Within a few percentage points of availability.
+    EXPECT_LT(r.absoluteError(), 0.05)
+        << "measured " << r.measuredAvailability << " vs predicted "
+        << r.predictedAvailability;
+}
+
+TEST(LongRunValidation, ModelTracksSimulationOnTcp)
+{
+    exp::LongRunResult r = exp::validateModel(
+        fastConfig(press::Version::TcpPress));
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_LT(r.absoluteError(), 0.07)
+        << "measured " << r.measuredAvailability << " vs predicted "
+        << r.predictedAvailability;
+}
+
+TEST(LongRunValidation, DefaultLoadScalesRates)
+{
+    auto base = exp::defaultValidationLoad(1.0);
+    auto fast = exp::defaultValidationLoad(2.0);
+    ASSERT_EQ(base.size(), fast.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_NEAR(fast[i].mttfPerNodeSec,
+                    base[i].mttfPerNodeSec / 2.0, 1e-9);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the kernel memory allocator and the pinnable-page
+ * accountant — the two resource-exhaustion fault targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/memory.hh"
+
+using namespace performa::osim;
+
+TEST(KernelMemory, AllocatesWithinCapacity)
+{
+    KernelMemory km(1000);
+    EXPECT_TRUE(km.alloc(400));
+    EXPECT_TRUE(km.alloc(600));
+    EXPECT_EQ(km.used(), 1000u);
+    EXPECT_FALSE(km.alloc(1));
+}
+
+TEST(KernelMemory, FreeReturnsCapacity)
+{
+    KernelMemory km(1000);
+    EXPECT_TRUE(km.alloc(800));
+    km.free(300);
+    EXPECT_EQ(km.used(), 500u);
+    EXPECT_TRUE(km.alloc(500));
+}
+
+TEST(KernelMemory, FreeClampsAtZero)
+{
+    KernelMemory km(1000);
+    km.free(50);
+    EXPECT_EQ(km.used(), 0u);
+}
+
+TEST(KernelMemory, InjectedFaultFailsAllAllocations)
+{
+    KernelMemory km(1000);
+    km.setFailInjected(true);
+    EXPECT_FALSE(km.alloc(1));
+    EXPECT_TRUE(km.failInjected());
+    km.setFailInjected(false);
+    EXPECT_TRUE(km.alloc(1));
+}
+
+TEST(KernelMemory, ResetClearsEverything)
+{
+    KernelMemory km(1000);
+    km.alloc(999);
+    km.setFailInjected(true);
+    km.reset();
+    EXPECT_EQ(km.used(), 0u);
+    EXPECT_FALSE(km.failInjected());
+    EXPECT_TRUE(km.alloc(1000));
+}
+
+TEST(PinManager, PinsUpToLimit)
+{
+    PinManager pm(100);
+    EXPECT_TRUE(pm.pin(60));
+    EXPECT_TRUE(pm.pin(40));
+    EXPECT_FALSE(pm.pin(1));
+    EXPECT_EQ(pm.pinned(), 100u);
+}
+
+TEST(PinManager, UnpinFreesBudget)
+{
+    PinManager pm(100);
+    pm.pin(100);
+    pm.unpin(30);
+    EXPECT_TRUE(pm.pin(30));
+    pm.unpin(1000); // clamps
+    EXPECT_EQ(pm.pinned(), 0u);
+}
+
+TEST(PinManager, InjectedLimitLowersThreshold)
+{
+    PinManager pm(1000);
+    EXPECT_TRUE(pm.pin(500));
+    pm.setInjectedLimit(400);
+    // Already above the new threshold: every new pin fails.
+    EXPECT_FALSE(pm.pin(1));
+    pm.unpin(200); // 300 pinned now, below 400
+    EXPECT_TRUE(pm.pin(100));
+    EXPECT_FALSE(pm.pin(1));
+    pm.setInjectedLimit(~std::uint64_t(0));
+    EXPECT_TRUE(pm.pin(600));
+}
+
+TEST(PinManager, InjectedLimitAboveRealLimitHasNoEffect)
+{
+    PinManager pm(100);
+    pm.setInjectedLimit(500);
+    EXPECT_EQ(pm.effectiveLimit(), 100u);
+}
+
+TEST(PinManager, ResetRestoresCleanState)
+{
+    PinManager pm(100);
+    pm.pin(80);
+    pm.setInjectedLimit(10);
+    pm.reset();
+    EXPECT_EQ(pm.pinned(), 0u);
+    EXPECT_EQ(pm.effectiveLimit(), 100u);
+}
+
+/** Property sweep: pinned never exceeds the effective limit. */
+class PinSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PinSweep, NeverExceedsEffectiveLimit)
+{
+    PinManager pm(1 << 20);
+    pm.setInjectedLimit(GetParam());
+    std::uint64_t sizes[] = {4096, 8192, 65536, 1 << 18};
+    for (int i = 0; i < 200; ++i) {
+        pm.pin(sizes[i % 4]);
+        EXPECT_LE(pm.pinned(), pm.effectiveLimit());
+        if (i % 7 == 0)
+            pm.unpin(sizes[(i + 1) % 4]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, PinSweep,
+                         ::testing::Values(16384, 262144, 1u << 20));

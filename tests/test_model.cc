@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit and property tests for the phase-2 performability model: stage
+ * resolution, the AT/AA combination equations, the performability
+ * metric, fault loads, and scenario composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fault_load.hh"
+#include "core/performability.hh"
+#include "core/scenarios.hh"
+
+using namespace performa;
+using namespace performa::model;
+
+namespace {
+
+/** A behaviour: detected in 15 s, degraded to 75%, heals. */
+MeasuredBehavior
+healedBehavior(double tn = 1000.0)
+{
+    MeasuredBehavior mb;
+    mb.normalTput = tn;
+    mb.detected = true;
+    mb.healed = true;
+    mb.dur = {15, 10, 0, 15, 0, 0, 0};
+    mb.tput = {0, 0.5 * tn, 0.75 * tn, 0.9 * tn, tn, 0, 0.5 * tn};
+    return mb;
+}
+
+/** A behaviour that stays splintered until the operator. */
+MeasuredBehavior
+splinteredBehavior(double tn = 1000.0)
+{
+    MeasuredBehavior mb = healedBehavior(tn);
+    mb.healed = false;
+    mb.tput[StageE] = 0.8 * tn;
+    return mb;
+}
+
+/** An undetected stall that heals on repair. */
+MeasuredBehavior
+stallBehavior(double tn = 1000.0)
+{
+    MeasuredBehavior mb;
+    mb.normalTput = tn;
+    mb.detected = false;
+    mb.healed = true;
+    mb.dur = {0, 0, 0, 20, 0, 0, 0};
+    mb.tput = {0, 0, 0, 0.5 * tn, tn, 0, 0};
+    return mb;
+}
+
+} // namespace
+
+TEST(ResolveStages, DetectedHealedUsesMttrForC)
+{
+    EnvParams env;
+    ResolvedStages rs = resolveStages(healedBehavior(), 180.0, env);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageA], 15.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageB], 10.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageC], 155.0); // 180 - 15 - 10
+    EXPECT_DOUBLE_EQ(rs.durSec[StageD], 15.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageE], 0.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageF], 0.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageG], 0.0);
+}
+
+TEST(ResolveStages, DetectionLatencyLongerThanMttrClampsC)
+{
+    EnvParams env;
+    MeasuredBehavior mb = healedBehavior();
+    mb.dur[StageA] = 500.0; // slower than the 180 s repair
+    ResolvedStages rs = resolveStages(mb, 180.0, env);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageA], 180.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageC], 0.0);
+}
+
+TEST(ResolveStages, UndetectedSpendsWholeMttrInA)
+{
+    EnvParams env;
+    ResolvedStages rs = resolveStages(stallBehavior(), 180.0, env);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageA], 180.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageB], 0.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageC], 0.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageD], 20.0);
+}
+
+TEST(ResolveStages, UnhealedAddsOperatorStages)
+{
+    EnvParams env;
+    env.operatorResponseSec = 600;
+    env.resetDurationSec = 60;
+    env.warmupSec = 20;
+    ResolvedStages rs = resolveStages(splinteredBehavior(), 180.0, env);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageE], 600.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageF], 60.0);
+    EXPECT_DOUBLE_EQ(rs.durSec[StageG], 20.0);
+    EXPECT_DOUBLE_EQ(rs.tput[StageF], 0.0);
+    EXPECT_DOUBLE_EQ(rs.tput[StageE], 800.0);
+}
+
+TEST(ResolveStages, TotalDurationSumsAllStages)
+{
+    EnvParams env;
+    ResolvedStages rs = resolveStages(healedBehavior(), 180.0, env);
+    EXPECT_DOUBLE_EQ(rs.totalDuration(), 15 + 10 + 155 + 15);
+}
+
+TEST(PerformabilityMetric, ScalesLinearlyWithThroughput)
+{
+    double p1 = performabilityMetric(1000, 0.999, 0.99999);
+    double p2 = performabilityMetric(2000, 0.999, 0.99999);
+    EXPECT_NEAR(p2, 2 * p1, 1e-9);
+}
+
+TEST(PerformabilityMetric, HalvingUnavailabilityRoughlyDoublesP)
+{
+    double p1 = performabilityMetric(1000, 1 - 2e-3, 0.99999);
+    double p2 = performabilityMetric(1000, 1 - 1e-3, 0.99999);
+    EXPECT_NEAR(p2 / p1, 2.0, 0.01);
+}
+
+TEST(PerformabilityMetric, PerfectAvailabilityIsFinite)
+{
+    double p = performabilityMetric(1000, 1.0, 0.99999);
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 0);
+}
+
+TEST(Model, NoFaultsMeansPerfectAvailability)
+{
+    PerformabilityModel m(1000);
+    PerfResult r = m.evaluate();
+    EXPECT_DOUBLE_EQ(r.avgTput, 1000.0);
+    EXPECT_DOUBLE_EQ(r.availability, 1.0);
+}
+
+TEST(Model, SingleFaultHandComputedAT)
+{
+    // One component, MTTF 10000 s, stall of 100 s at zero throughput,
+    // heals instantly: AT = (1 - 100/10000)*Tn.
+    MeasuredBehavior mb;
+    mb.normalTput = 1000;
+    mb.detected = false;
+    mb.healed = true;
+    mb.dur = {0, 0, 0, 0, 0, 0, 0};
+    mb.tput = {0, 0, 0, 0, 1000, 0, 0};
+
+    FaultClass fc{"stall", fault::FaultKind::LinkDown, 1.0, 10000.0,
+                  100.0};
+    PerformabilityModel m(1000);
+    m.addFault(fc, mb);
+    PerfResult r = m.evaluate();
+    EXPECT_NEAR(r.avgTput, (1.0 - 0.01) * 1000.0, 1e-6);
+    EXPECT_NEAR(r.availability, 0.99, 1e-9);
+    ASSERT_EQ(r.breakdown.size(), 1u);
+    EXPECT_NEAR(r.breakdown[0].unavailability, 0.01, 1e-9);
+}
+
+TEST(Model, ComponentCountMultipliesContribution)
+{
+    MeasuredBehavior mb;
+    mb.normalTput = 1000;
+    mb.detected = false;
+    mb.healed = true;
+    mb.tput = {0, 0, 0, 0, 1000, 0, 0};
+
+    FaultClass one{"x", fault::FaultKind::NodeCrash, 1.0, 10000.0, 50.0};
+    FaultClass four = one;
+    four.count = 4.0;
+
+    PerformabilityModel m1(1000), m4(1000);
+    m1.addFault(one, mb);
+    m4.addFault(four, mb);
+    double u1 = m1.evaluate().unavailability;
+    double u4 = m4.evaluate().unavailability;
+    EXPECT_NEAR(u4, 4 * u1, 1e-9);
+}
+
+TEST(Model, DegradedStageAboveNormalContributesNothing)
+{
+    // A fault whose stages all run at Tn: no unavailability.
+    MeasuredBehavior mb;
+    mb.normalTput = 1000;
+    mb.detected = false;
+    mb.healed = true;
+    mb.tput = {1000, 1000, 1000, 1000, 1000, 0, 1000};
+    mb.dur = {0, 0, 0, 10, 0, 0, 0};
+
+    FaultClass fc{"benign", fault::FaultKind::PinExhaustion, 4.0,
+                  5270400.0, 180.0};
+    PerformabilityModel m(1000);
+    m.addFault(fc, mb);
+    EXPECT_NEAR(m.evaluate().unavailability, 0.0, 1e-12);
+}
+
+TEST(Model, UnhealedFaultCostsOperatorTime)
+{
+    EnvParams env;
+    env.operatorResponseSec = 600;
+    FaultClass fc{"splinter", fault::FaultKind::LinkDown, 1.0, 100000.0,
+                  180.0};
+
+    PerformabilityModel healed(1000), splintered(1000);
+    healed.addFault(fc, healedBehavior());
+    splintered.addFault(fc, splinteredBehavior());
+    EXPECT_GT(splintered.evaluate(env).unavailability,
+              healed.evaluate(env).unavailability);
+}
+
+TEST(FaultLoad, Table3HasAllClasses)
+{
+    FaultLoadParams p;
+    auto load = table3FaultLoad(p);
+    EXPECT_EQ(load.size(), 11u); // 6 hw/os + 5 app classes
+    double app_share = 0;
+    for (const auto &fc : load) {
+        EXPECT_GT(fc.mttfSec, 0);
+        EXPECT_GT(fc.mttrSec, 0);
+        app_share += appFaultShare(fc.kind);
+    }
+    EXPECT_NEAR(app_share, 0.99, 0.02); // 40+40+8+9+2
+}
+
+TEST(FaultLoad, AppMixSplitsRate)
+{
+    FaultLoadParams p;
+    p.appMttfSec = 86400;
+    auto load = table3FaultLoad(p);
+    double total_rate = 0;
+    for (const auto &fc : load) {
+        if (appFaultShare(fc.kind) > 0)
+            total_rate += fc.count / fc.mttfSec;
+    }
+    // Summed app rate ~= numNodes / appMttf (mix shares sum to ~0.99).
+    EXPECT_NEAR(total_rate, 4.0 * 0.99 / 86400.0, 1e-7);
+}
+
+TEST(FaultLoad, ScaleRatesDividesMttf)
+{
+    FaultLoadParams p;
+    auto load = table3FaultLoad(p);
+    double before = load[0].mttfSec;
+    scaleRates(load, {fault::FaultKind::LinkDown}, 4.0);
+    EXPECT_DOUBLE_EQ(load[0].mttfSec, before / 4.0);
+}
+
+namespace {
+
+/** Synthetic behaviour lookup for scenario tests. */
+MeasuredBehavior
+syntheticLookup(press::Version v, fault::FaultKind)
+{
+    double tn = press::paperThroughput(v);
+    MeasuredBehavior mb = healedBehavior(tn);
+    return mb;
+}
+
+} // namespace
+
+TEST(Scenario, ViaAdditionsOnlyAffectViaVersions)
+{
+    ScenarioOptions base;
+    ScenarioOptions pess = base;
+    pess.viaPacketDropMttfSec = 86400;
+    pess.viaSystemFaultMttfSec = 86400;
+    pess.viaExtraAppMttfSec = 86400;
+
+    double tcp_base = evaluateScenario(press::Version::TcpPress,
+                                       syntheticLookup, base)
+                          .performability;
+    double tcp_pess = evaluateScenario(press::Version::TcpPress,
+                                       syntheticLookup, pess)
+                          .performability;
+    EXPECT_DOUBLE_EQ(tcp_base, tcp_pess);
+
+    double via_base = evaluateScenario(press::Version::ViaPress5,
+                                       syntheticLookup, base)
+                          .performability;
+    double via_pess = evaluateScenario(press::Version::ViaPress5,
+                                       syntheticLookup, pess)
+                          .performability;
+    EXPECT_LT(via_pess, via_base);
+}
+
+TEST(Scenario, HigherAppFaultRateLowersPerformability)
+{
+    ScenarioOptions daily, monthly;
+    daily.appMttfSec = 86400;
+    monthly.appMttfSec = 30 * 86400;
+    double pd = evaluateScenario(press::Version::ViaPress5,
+                                 syntheticLookup, daily)
+                    .performability;
+    double pm = evaluateScenario(press::Version::ViaPress5,
+                                 syntheticLookup, monthly)
+                    .performability;
+    EXPECT_LT(pd, pm);
+}
+
+TEST(Scenario, RateScaleMonotonicallyLowersPerformability)
+{
+    double prev = 1e18;
+    for (double k : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        ScenarioOptions o;
+        o.viaRateScale = k;
+        double p = evaluateScenario(press::Version::ViaPress5,
+                                    syntheticLookup, o)
+                       .performability;
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Scenario, CrossoverFindsCrossingPoint)
+{
+    // With identical (synthetic) behaviours, VIA-5 starts ahead on
+    // raw throughput; scaling its fault rates must eventually drop it
+    // to TCP's performability.
+    ScenarioOptions base;
+    double k = crossoverFactor(press::Version::ViaPress5,
+                               press::Version::TcpPress,
+                               syntheticLookup, base);
+    ASSERT_GT(k, 1.0);
+    ASSERT_LT(k, 64.0);
+    // Verify it is actually a crossing.
+    ScenarioOptions at;
+    at.viaRateScale = k;
+    double p_via = evaluateScenario(press::Version::ViaPress5,
+                                    syntheticLookup, at)
+                       .performability;
+    double p_tcp = evaluateScenario(press::Version::TcpPress,
+                                    syntheticLookup, base)
+                       .performability;
+    EXPECT_NEAR(p_via, p_tcp, 0.01 * p_tcp);
+}
+
+/** Property sweep: AA always in (0, 1] and AT <= Tn. */
+class ModelInvariantSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ModelInvariantSweep, BoundsHold)
+{
+    double app_mttf = GetParam();
+    ScenarioOptions o;
+    o.appMttfSec = app_mttf;
+    for (press::Version v : press::allVersions) {
+        PerfResult r = evaluateScenario(v, syntheticLookup, o);
+        EXPECT_GT(r.availability, 0.0);
+        EXPECT_LE(r.availability, 1.0);
+        EXPECT_LE(r.avgTput, r.normalTput + 1e-9);
+        EXPECT_GT(r.performability, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AppRates, ModelInvariantSweep,
+                         ::testing::Values(3600.0, 86400.0, 604800.0,
+                                           2592000.0));

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the star-topology fabric: delivery timing,
+ * serialization, component-fault drops, and outcome callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+namespace {
+
+struct World
+{
+    Simulation s{1};
+    net::NetworkConfig cfg;
+    net::Network n;
+    net::PortId a, b;
+    std::vector<net::Frame> delivered;
+
+    World() : n(s, makeCfg())
+    {
+        a = n.addPort();
+        b = n.addPort();
+        n.setHandler(b, [this](net::Frame &&f) {
+            delivered.push_back(std::move(f));
+        });
+    }
+
+    static net::NetworkConfig
+    makeCfg()
+    {
+        net::NetworkConfig c;
+        c.linkLatency = usec(3);
+        c.switchLatency = usec(1);
+        c.bytesPerUsec = 100.0;
+        return c;
+    }
+
+    net::Frame
+    frame(std::uint64_t bytes)
+    {
+        net::Frame f;
+        f.srcPort = a;
+        f.dstPort = b;
+        f.bytes = bytes;
+        return f;
+    }
+};
+
+} // namespace
+
+TEST(Network, DeliversWithLatencyAndSerialization)
+{
+    World w;
+    w.n.send(w.frame(1000)); // 10 us serialization per link
+    w.s.runUntil(sec(1));
+    ASSERT_EQ(w.delivered.size(), 1u);
+    // tx 10 + link 3 + switch 1 + rx 10 + link 3 = 27 us
+    EXPECT_EQ(w.n.delivered(), 1u);
+}
+
+TEST(Network, DeliveryTimeMatchesModel)
+{
+    World w;
+    Tick at = 0;
+    w.n.setHandler(w.b, [&](net::Frame &&) { at = w.s.now(); });
+    w.n.send(w.frame(1000));
+    w.s.runUntil(sec(1));
+    EXPECT_EQ(at, usec(27));
+}
+
+TEST(Network, BackToBackFramesSerialize)
+{
+    World w;
+    std::vector<Tick> at;
+    w.n.setHandler(w.b, [&](net::Frame &&) { at.push_back(w.s.now()); });
+    w.n.send(w.frame(1000));
+    w.n.send(w.frame(1000));
+    w.s.runUntil(sec(1));
+    ASSERT_EQ(at.size(), 2u);
+    // Second frame waits for the first on both links.
+    EXPECT_GE(at[1], at[0] + usec(10));
+}
+
+TEST(Network, OutcomeTrueOnDelivery)
+{
+    World w;
+    int outcome = -1;
+    w.n.send(w.frame(100), [&](bool ok) { outcome = ok ? 1 : 0; });
+    w.s.runUntil(sec(1));
+    EXPECT_EQ(outcome, 1);
+}
+
+TEST(Network, DropsWhenSrcLinkDown)
+{
+    World w;
+    int outcome = -1;
+    w.n.setLinkUp(w.a, false);
+    w.n.send(w.frame(100), [&](bool ok) { outcome = ok ? 1 : 0; });
+    w.s.runUntil(sec(1));
+    EXPECT_EQ(outcome, 0);
+    EXPECT_TRUE(w.delivered.empty());
+    EXPECT_EQ(w.n.dropped(), 1u);
+}
+
+TEST(Network, DropsWhenDstLinkDown)
+{
+    World w;
+    w.n.setLinkUp(w.b, false);
+    w.n.send(w.frame(100));
+    w.s.runUntil(sec(1));
+    EXPECT_TRUE(w.delivered.empty());
+}
+
+TEST(Network, DropsWhenSwitchDown)
+{
+    World w;
+    w.n.setSwitchUp(false);
+    w.n.send(w.frame(100));
+    w.s.runUntil(sec(1));
+    EXPECT_TRUE(w.delivered.empty());
+    w.n.setSwitchUp(true);
+    w.n.send(w.frame(100));
+    w.s.runUntil(sec(2));
+    EXPECT_EQ(w.delivered.size(), 1u);
+}
+
+TEST(Network, DropsWhenDstPortDown)
+{
+    World w;
+    w.n.setPortUp(w.b, false);
+    w.n.send(w.frame(100));
+    w.s.runUntil(sec(1));
+    EXPECT_TRUE(w.delivered.empty());
+}
+
+TEST(Network, DropsFrameInFlightWhenComponentDies)
+{
+    World w;
+    int outcome = -1;
+    w.n.send(w.frame(100), [&](bool ok) { outcome = ok ? 1 : 0; });
+    // Take the switch down before the frame arrives.
+    w.s.scheduleIn(usec(1), [&] { w.n.setSwitchUp(false); });
+    w.s.runUntil(sec(1));
+    EXPECT_EQ(outcome, 0);
+    EXPECT_TRUE(w.delivered.empty());
+}
+
+TEST(Network, DropOutcomeArrivesQuickly)
+{
+    World w;
+    Tick at = 0;
+    w.n.setSwitchUp(false);
+    w.n.send(w.frame(100), [&](bool) { at = w.s.now(); });
+    w.s.runUntil(sec(1));
+    // Hardware-ack timeout is RTT-scale, far below protocol timers.
+    EXPECT_LE(at, msec(1));
+    EXPECT_GT(at, 0u);
+}
+
+TEST(Network, PayloadSurvivesTransit)
+{
+    World w;
+    auto body = std::make_shared<int>(1234);
+    net::Frame f = w.frame(64);
+    f.payload = body;
+    f.kind = 9;
+    f.conn = 77;
+    w.n.send(std::move(f));
+    w.s.runUntil(sec(1));
+    ASSERT_EQ(w.delivered.size(), 1u);
+    EXPECT_EQ(w.delivered[0].kind, 9u);
+    EXPECT_EQ(w.delivered[0].conn, 77u);
+    EXPECT_EQ(*std::static_pointer_cast<int>(w.delivered[0].payload),
+              1234);
+}

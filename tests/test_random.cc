@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and property tests for the random utilities, in particular the
+ * Zipf sampler that drives file popularity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+using namespace performa::sim;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.uniformInt(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialNeverZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.exponential(2), 1u);
+}
+
+/** Property: sample mean of the exponential tracks the requested mean. */
+class ExponentialMeanSweep
+    : public ::testing::TestWithParam<Tick>
+{};
+
+TEST_P(ExponentialMeanSweep, MeanWithinTenPercent)
+{
+    Rng r(1234);
+    Tick mean = GetParam();
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.exponential(mean));
+    double m = sum / n;
+    EXPECT_NEAR(m, static_cast<double>(mean),
+                0.1 * static_cast<double>(mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanSweep,
+                         ::testing::Values(usec(100), msec(1), msec(50),
+                                           sec(1)));
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler z(1000, 0.8);
+    double sum = 0;
+    for (std::size_t i = 0; i < z.size(); ++i)
+        sum += z.pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing)
+{
+    ZipfSampler z(500, 0.8);
+    for (std::size_t i = 1; i < z.size(); ++i)
+        EXPECT_LE(z.pmf(i), z.pmf(i - 1) + 1e-12);
+}
+
+TEST(Zipf, CoverageMonotonic)
+{
+    ZipfSampler z(1000, 0.8);
+    EXPECT_DOUBLE_EQ(z.coverage(0), 0.0);
+    EXPECT_DOUBLE_EQ(z.coverage(1000), 1.0);
+    EXPECT_DOUBLE_EQ(z.coverage(5000), 1.0);
+    double prev = 0;
+    for (std::size_t k = 1; k <= 1000; k += 37) {
+        double c = z.coverage(k);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Zipf, HotItemsDominateSamples)
+{
+    ZipfSampler z(10000, 0.8);
+    Rng r(5);
+    std::size_t hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (z.sample(r) < 1000)
+            ++hot;
+    }
+    // Top 10% of a 0.8-skew Zipf carries well over a third of mass.
+    double frac = static_cast<double>(hot) / n;
+    EXPECT_NEAR(frac, z.coverage(1000), 0.03);
+}
+
+TEST(Zipf, SampleWithinRange)
+{
+    ZipfSampler z(64, 1.0);
+    Rng r(9);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.sample(r), 64u);
+}
+
+/** Property: empirical frequency of item 0 tracks pmf(0) across skews. */
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ZipfSkewSweep, TopItemFrequencyMatchesPmf)
+{
+    double alpha = GetParam();
+    ZipfSampler z(2048, alpha);
+    Rng r(31);
+    int zero = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        if (z.sample(r) == 0)
+            ++zero;
+    }
+    EXPECT_NEAR(static_cast<double>(zero) / n, z.pmf(0),
+                0.1 * z.pmf(0) + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.4, 0.8, 1.0, 1.4));

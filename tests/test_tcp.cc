@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Unit tests for the TCP model: connection lifecycle, reliable
+ * delivery across faults, back-pressure, abort timeouts, RST
+ * semantics, stream desync, and kernel-memory coupling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "os/node.hh"
+#include "proto/tcp.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+using namespace performa::sim;
+using proto::AppMessage;
+using proto::SendStatus;
+
+namespace {
+
+struct Endpoint
+{
+    std::unique_ptr<osim::Node> node;
+    std::unique_ptr<proto::TcpComm> tcp;
+    std::vector<AppMessage> received;
+    std::vector<NodeId> broken;
+    std::vector<NodeId> connected;
+    std::vector<NodeId> connectFailed;
+    std::vector<std::string> fatal;
+    int sendReady = 0;
+    std::vector<std::uint32_t> datagrams;
+};
+
+struct TcpWorld
+{
+    Simulation s{1};
+    net::Network intra{s};
+    net::Network client{s};
+    std::vector<Endpoint> eps;
+
+    explicit TcpWorld(int n = 2, proto::TcpConfig cfg = {})
+    {
+        std::unordered_map<NodeId, net::PortId> ports;
+        std::vector<net::PortId> cports;
+        for (int i = 0; i < n; ++i) {
+            ports[static_cast<NodeId>(i)] = intra.addPort();
+            cports.push_back(client.addPort());
+        }
+        eps.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            auto id = static_cast<NodeId>(i);
+            auto &e = eps[static_cast<std::size_t>(i)];
+            e.node = std::make_unique<osim::Node>(
+                s, id, intra, ports[id], client,
+                cports[static_cast<std::size_t>(i)]);
+            e.tcp = std::make_unique<proto::TcpComm>(*e.node, cfg, ports);
+            proto::CommCallbacks cbs;
+            cbs.onMessage = [&e](NodeId peer, AppMessage &&m) {
+                (void)peer;
+                e.received.push_back(std::move(m));
+            };
+            cbs.onPeerBroken = [&e](NodeId p, proto::BreakReason) {
+                e.broken.push_back(p);
+            };
+            cbs.onPeerConnected = [&e](NodeId p) {
+                e.connected.push_back(p);
+            };
+            cbs.onConnectFailed = [&e](NodeId p) {
+                e.connectFailed.push_back(p);
+            };
+            cbs.onSendReady = [&e] { ++e.sendReady; };
+            cbs.onFatalError = [&e](const std::string &r) {
+                e.fatal.push_back(r);
+            };
+            cbs.onDatagram = [&e](NodeId, std::uint32_t kind,
+                                  std::shared_ptr<void>) {
+                e.datagrams.push_back(kind);
+            };
+            e.tcp->setCallbacks(std::move(cbs));
+            e.tcp->start();
+        }
+    }
+
+    AppMessage
+    msg(std::uint64_t bytes, std::uint32_t type = 1)
+    {
+        AppMessage m;
+        m.type = type;
+        m.bytes = bytes;
+        return m;
+    }
+};
+
+} // namespace
+
+TEST(Tcp, ConnectEstablishesBothEnds)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    EXPECT_TRUE(w.eps[0].tcp->connected(1));
+    EXPECT_TRUE(w.eps[1].tcp->connected(0));
+    ASSERT_EQ(w.eps[0].connected.size(), 1u);
+    ASSERT_EQ(w.eps[1].connected.size(), 1u);
+}
+
+TEST(Tcp, ConnectToDeadListenerFails)
+{
+    TcpWorld w;
+    w.eps[1].tcp->shutdown(); // not listening
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(5));
+    EXPECT_FALSE(w.eps[0].tcp->connected(1));
+    EXPECT_EQ(w.eps[0].connectFailed.size(), 1u);
+}
+
+TEST(Tcp, ConnectToDownNodeTimesOut)
+{
+    TcpWorld w;
+    w.eps[1].node->crash(sec(60));
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(30));
+    EXPECT_EQ(w.eps[0].connectFailed.size(), 1u);
+}
+
+TEST(Tcp, SendWithoutConnectionIsRejected)
+{
+    TcpWorld w;
+    EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(100), {}),
+              SendStatus::NotConnected);
+}
+
+TEST(Tcp, DeliversMessagesInOrder)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(1000, i), {}),
+                  SendStatus::Ok);
+    w.s.runUntil(sec(2));
+    ASSERT_EQ(w.eps[1].received.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(w.eps[1].received[i].type, i);
+}
+
+TEST(Tcp, NullPointerFailsSynchronouslyWithEfault)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    proto::SendParams params;
+    params.nullPointer = true;
+    EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(100), params),
+              SendStatus::Efault);
+    w.s.runUntil(sec(2));
+    EXPECT_TRUE(w.eps[1].received.empty());
+    EXPECT_TRUE(w.eps[1].fatal.empty());
+}
+
+TEST(Tcp, OffByNDesyncIsFatalAtReceiverOnly)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    proto::SendParams params;
+    params.sizeDelta = 16;
+    EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(1000), params),
+              SendStatus::Ok);
+    w.s.runUntil(sec(2));
+    EXPECT_EQ(w.eps[1].fatal.size(), 1u);
+    EXPECT_TRUE(w.eps[0].fatal.empty());
+    EXPECT_TRUE(w.eps[1].received.empty());
+}
+
+TEST(Tcp, SurvivesShortLinkFlapViaRetransmission)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.intra.setLinkUp(1, false);
+    EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(1000), {}), SendStatus::Ok);
+    w.s.runUntil(sec(5));
+    EXPECT_TRUE(w.eps[1].received.empty());
+    w.intra.setLinkUp(1, true);
+    w.s.runUntil(sec(80)); // within backoff reach
+    EXPECT_EQ(w.eps[1].received.size(), 1u);
+    EXPECT_TRUE(w.eps[0].broken.empty()); // no false positive
+}
+
+TEST(Tcp, AbortsAfterRetransmissionTimeout)
+{
+    proto::TcpConfig cfg;
+    cfg.abortTimeout = sec(30); // shortened for the test
+    TcpWorld w(2, cfg);
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.intra.setLinkUp(1, false);
+    w.eps[0].tcp->send(1, w.msg(1000), {});
+    w.s.runUntil(sec(120));
+    ASSERT_EQ(w.eps[0].broken.size(), 1u);
+    EXPECT_EQ(w.eps[0].broken[0], 1u);
+    EXPECT_FALSE(w.eps[0].tcp->connected(1));
+}
+
+TEST(Tcp, PeerProcessExitSendsRst)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[1].tcp->shutdown(); // graceful exit closes sockets
+    w.s.runUntil(sec(2));
+    ASSERT_EQ(w.eps[0].broken.size(), 1u);
+}
+
+TEST(Tcp, RebootedPeerAnswersStaleTrafficWithRst)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[1].node->crash(sec(20));
+    w.eps[0].tcp->send(1, w.msg(1000), {});
+    w.s.runUntil(sec(10));
+    EXPECT_TRUE(w.eps[0].broken.empty()); // silence, still retrying
+    w.s.runUntil(sec(120)); // reboot + next retransmission -> RST
+    ASSERT_EQ(w.eps[0].broken.size(), 1u);
+}
+
+TEST(Tcp, SenderBlocksWhenBufferFullAndUnblocksOnDrain)
+{
+    proto::TcpConfig cfg;
+    cfg.sndBufBytes = 4 * 1024;
+    TcpWorld w(2, cfg);
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.intra.setLinkUp(1, false); // nothing drains
+    int ok = 0;
+    SendStatus st = SendStatus::Ok;
+    while (st == SendStatus::Ok && ok < 100) {
+        st = w.eps[0].tcp->send(1, w.msg(1024), {});
+        if (st == SendStatus::Ok)
+            ++ok;
+    }
+    EXPECT_EQ(st, SendStatus::WouldBlock);
+    EXPECT_GT(ok, 0);
+    EXPECT_LT(ok, 10);
+    w.intra.setLinkUp(1, true);
+    w.s.runUntil(sec(120));
+    EXPECT_GE(w.eps[0].sendReady, 1);
+    EXPECT_EQ(w.eps[1].received.size(),
+              static_cast<std::size_t>(ok));
+}
+
+TEST(Tcp, ReceiverStopsAckingWhenAppStopsReceiving)
+{
+    proto::TcpConfig cfg;
+    cfg.rcvQueueMsgs = 4;
+    cfg.sndBufBytes = 6 * 1024;
+    TcpWorld w(2, cfg);
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[1].tcp->setAppReceiving(false); // SIGSTOP
+    SendStatus st = SendStatus::Ok;
+    int sent = 0;
+    while (st == SendStatus::Ok && sent < 100) {
+        st = w.eps[0].tcp->send(1, w.msg(1024), {});
+        if (st == SendStatus::Ok)
+            ++sent;
+        w.s.runUntil(w.s.now() + sec(1));
+    }
+    // Receiver queue (4) filled, then the sender's buffer backed up.
+    EXPECT_EQ(st, SendStatus::WouldBlock);
+    EXPECT_TRUE(w.eps[1].received.empty());
+    w.eps[1].tcp->setAppReceiving(true); // SIGCONT
+    w.s.runUntil(w.s.now() + sec(200));
+    EXPECT_EQ(w.eps[1].received.size(), static_cast<std::size_t>(sent));
+}
+
+TEST(Tcp, FrozenNodeNeitherAcksNorProcesses)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[1].node->freeze(sec(30));
+    w.eps[0].tcp->send(1, w.msg(1000), {});
+    w.s.runUntil(sec(20));
+    EXPECT_TRUE(w.eps[1].received.empty());
+    EXPECT_TRUE(w.eps[0].broken.empty());
+    w.s.runUntil(sec(120)); // unfreeze + retransmission delivers
+    EXPECT_EQ(w.eps[1].received.size(), 1u);
+}
+
+TEST(Tcp, DatagramsDelivered)
+{
+    TcpWorld w;
+    w.eps[0].tcp->sendDatagram(1, 42);
+    w.s.runUntil(sec(1));
+    ASSERT_EQ(w.eps[1].datagrams.size(), 1u);
+    EXPECT_EQ(w.eps[1].datagrams[0], 42u);
+}
+
+TEST(Tcp, DatagramsBlockedByKernelMemoryFault)
+{
+    TcpWorld w;
+    w.eps[0].node->kernelMem().setFailInjected(true);
+    w.eps[0].tcp->sendDatagram(1, 42);
+    w.s.runUntil(sec(1));
+    EXPECT_TRUE(w.eps[1].datagrams.empty());
+}
+
+TEST(Tcp, KernelMemoryFaultStallsOutboundUntilCleared)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[0].node->kernelMem().setFailInjected(true);
+    EXPECT_EQ(w.eps[0].tcp->send(1, w.msg(1000), {}), SendStatus::Ok);
+    w.s.runUntil(sec(10));
+    EXPECT_TRUE(w.eps[1].received.empty()); // queued in the OS
+    w.eps[0].node->kernelMem().setFailInjected(false);
+    w.s.runUntil(sec(20));
+    EXPECT_EQ(w.eps[1].received.size(), 1u);
+}
+
+TEST(Tcp, InboundDroppedDuringKernelMemoryFault)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[1].node->kernelMem().setFailInjected(true);
+    w.eps[0].tcp->send(1, w.msg(1000), {});
+    w.s.runUntil(sec(5));
+    EXPECT_TRUE(w.eps[1].received.empty());
+    w.eps[1].node->kernelMem().setFailInjected(false);
+    w.s.runUntil(sec(80)); // retransmission gets through
+    EXPECT_EQ(w.eps[1].received.size(), 1u);
+}
+
+TEST(Tcp, DisconnectResetsPeerWithoutLocalCallback)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[0].tcp->disconnect(1);
+    w.s.runUntil(sec(2));
+    EXPECT_FALSE(w.eps[0].tcp->connected(1));
+    EXPECT_TRUE(w.eps[0].broken.empty());   // app-initiated
+    ASSERT_EQ(w.eps[1].broken.size(), 1u);  // peer saw the RST
+}
+
+TEST(Tcp, SendCostScalesWithSize)
+{
+    TcpWorld w;
+    auto &tcp = *w.eps[0].tcp;
+    EXPECT_GT(tcp.sendCost(8192), tcp.sendCost(256));
+}
+
+TEST(Tcp, VanishLeavesNoState)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(sec(1));
+    w.eps[0].tcp->vanish();
+    EXPECT_FALSE(w.eps[0].tcp->connected(1));
+    // Peer discovers only via its own traffic (RST for unknown conn).
+    w.eps[1].tcp->send(0, w.msg(100), {});
+    w.s.runUntil(sec(2));
+    EXPECT_EQ(w.eps[1].broken.size(), 1u);
+}
+
+TEST(Tcp, SimultaneousConnectsConvergeOnOneConnection)
+{
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.eps[1].tcp->connect(0);
+    w.s.runUntil(sec(5));
+    ASSERT_TRUE(w.eps[0].tcp->connected(1));
+    ASSERT_TRUE(w.eps[1].tcp->connected(0));
+    w.eps[0].tcp->send(1, w.msg(512), {});
+    w.eps[1].tcp->send(0, w.msg(512), {});
+    w.s.runUntil(sec(6));
+    EXPECT_EQ(w.eps[1].received.size(), 1u);
+    EXPECT_EQ(w.eps[0].received.size(), 1u);
+    EXPECT_TRUE(w.eps[0].broken.empty());
+    EXPECT_TRUE(w.eps[1].broken.empty());
+}

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9.cc" "bench/CMakeFiles/bench_fig9.dir/bench_fig9.cc.o" "gcc" "bench/CMakeFiles/bench_fig9.dir/bench_fig9.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/performa_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/performa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/performa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/performa_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/press/CMakeFiles/performa_press.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/performa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/performa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/performa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/performa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_sweep.dir/capacity_sweep.cpp.o"
+  "CMakeFiles/capacity_sweep.dir/capacity_sweep.cpp.o.d"
+  "capacity_sweep"
+  "capacity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_designer.dir/whatif_designer.cpp.o"
+  "CMakeFiles/whatif_designer.dir/whatif_designer.cpp.o.d"
+  "whatif_designer"
+  "whatif_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_core.dir/fault_load.cc.o"
+  "CMakeFiles/performa_core.dir/fault_load.cc.o.d"
+  "CMakeFiles/performa_core.dir/performability.cc.o"
+  "CMakeFiles/performa_core.dir/performability.cc.o.d"
+  "CMakeFiles/performa_core.dir/scenarios.cc.o"
+  "CMakeFiles/performa_core.dir/scenarios.cc.o.d"
+  "libperforma_core.a"
+  "libperforma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/behavior_db.cc" "src/exp/CMakeFiles/performa_exp.dir/behavior_db.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/behavior_db.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/exp/CMakeFiles/performa_exp.dir/experiment.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/experiment.cc.o.d"
+  "/root/repo/src/exp/long_run.cc" "src/exp/CMakeFiles/performa_exp.dir/long_run.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/long_run.cc.o.d"
+  "/root/repo/src/exp/replicate.cc" "src/exp/CMakeFiles/performa_exp.dir/replicate.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/replicate.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/exp/CMakeFiles/performa_exp.dir/report.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/report.cc.o.d"
+  "/root/repo/src/exp/stages.cc" "src/exp/CMakeFiles/performa_exp.dir/stages.cc.o" "gcc" "src/exp/CMakeFiles/performa_exp.dir/stages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/performa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/press/CMakeFiles/performa_press.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/performa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/performa_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/performa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/performa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/performa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/performa_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_exp.dir/behavior_db.cc.o"
+  "CMakeFiles/performa_exp.dir/behavior_db.cc.o.d"
+  "CMakeFiles/performa_exp.dir/experiment.cc.o"
+  "CMakeFiles/performa_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/performa_exp.dir/long_run.cc.o"
+  "CMakeFiles/performa_exp.dir/long_run.cc.o.d"
+  "CMakeFiles/performa_exp.dir/replicate.cc.o"
+  "CMakeFiles/performa_exp.dir/replicate.cc.o.d"
+  "CMakeFiles/performa_exp.dir/report.cc.o"
+  "CMakeFiles/performa_exp.dir/report.cc.o.d"
+  "CMakeFiles/performa_exp.dir/stages.cc.o"
+  "CMakeFiles/performa_exp.dir/stages.cc.o.d"
+  "libperforma_exp.a"
+  "libperforma_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

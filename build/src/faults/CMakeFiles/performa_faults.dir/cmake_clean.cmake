@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_faults.dir/injector.cc.o"
+  "CMakeFiles/performa_faults.dir/injector.cc.o.d"
+  "libperforma_faults.a"
+  "libperforma_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for performa_faults.
+# This may be replaced when dependencies are built.

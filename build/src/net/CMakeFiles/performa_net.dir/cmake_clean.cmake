@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_net.dir/network.cc.o"
+  "CMakeFiles/performa_net.dir/network.cc.o.d"
+  "libperforma_net.a"
+  "libperforma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

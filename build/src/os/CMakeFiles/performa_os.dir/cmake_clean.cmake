@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_os.dir/cpu.cc.o"
+  "CMakeFiles/performa_os.dir/cpu.cc.o.d"
+  "CMakeFiles/performa_os.dir/node.cc.o"
+  "CMakeFiles/performa_os.dir/node.cc.o.d"
+  "libperforma_os.a"
+  "libperforma_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperforma_os.a"
+)

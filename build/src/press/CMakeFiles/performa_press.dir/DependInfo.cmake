@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/press/cluster.cc" "src/press/CMakeFiles/performa_press.dir/cluster.cc.o" "gcc" "src/press/CMakeFiles/performa_press.dir/cluster.cc.o.d"
+  "/root/repo/src/press/config.cc" "src/press/CMakeFiles/performa_press.dir/config.cc.o" "gcc" "src/press/CMakeFiles/performa_press.dir/config.cc.o.d"
+  "/root/repo/src/press/server.cc" "src/press/CMakeFiles/performa_press.dir/server.cc.o" "gcc" "src/press/CMakeFiles/performa_press.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/performa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/performa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/performa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/performa_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_press.dir/cluster.cc.o"
+  "CMakeFiles/performa_press.dir/cluster.cc.o.d"
+  "CMakeFiles/performa_press.dir/config.cc.o"
+  "CMakeFiles/performa_press.dir/config.cc.o.d"
+  "CMakeFiles/performa_press.dir/server.cc.o"
+  "CMakeFiles/performa_press.dir/server.cc.o.d"
+  "libperforma_press.a"
+  "libperforma_press.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_press.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/interpose.cc" "src/proto/CMakeFiles/performa_proto.dir/interpose.cc.o" "gcc" "src/proto/CMakeFiles/performa_proto.dir/interpose.cc.o.d"
+  "/root/repo/src/proto/tcp.cc" "src/proto/CMakeFiles/performa_proto.dir/tcp.cc.o" "gcc" "src/proto/CMakeFiles/performa_proto.dir/tcp.cc.o.d"
+  "/root/repo/src/proto/via.cc" "src/proto/CMakeFiles/performa_proto.dir/via.cc.o" "gcc" "src/proto/CMakeFiles/performa_proto.dir/via.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/performa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/performa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/performa_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_proto.dir/interpose.cc.o"
+  "CMakeFiles/performa_proto.dir/interpose.cc.o.d"
+  "CMakeFiles/performa_proto.dir/tcp.cc.o"
+  "CMakeFiles/performa_proto.dir/tcp.cc.o.d"
+  "CMakeFiles/performa_proto.dir/via.cc.o"
+  "CMakeFiles/performa_proto.dir/via.cc.o.d"
+  "libperforma_proto.a"
+  "libperforma_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_sim.dir/event_queue.cc.o"
+  "CMakeFiles/performa_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/performa_sim.dir/logging.cc.o"
+  "CMakeFiles/performa_sim.dir/logging.cc.o.d"
+  "CMakeFiles/performa_sim.dir/random.cc.o"
+  "CMakeFiles/performa_sim.dir/random.cc.o.d"
+  "CMakeFiles/performa_sim.dir/time_series.cc.o"
+  "CMakeFiles/performa_sim.dir/time_series.cc.o.d"
+  "libperforma_sim.a"
+  "libperforma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performa_workload.dir/client_farm.cc.o"
+  "CMakeFiles/performa_workload.dir/client_farm.cc.o.d"
+  "CMakeFiles/performa_workload.dir/closed_loop.cc.o"
+  "CMakeFiles/performa_workload.dir/closed_loop.cc.o.d"
+  "CMakeFiles/performa_workload.dir/trace.cc.o"
+  "CMakeFiles/performa_workload.dir/trace.cc.o.d"
+  "libperforma_workload.a"
+  "libperforma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

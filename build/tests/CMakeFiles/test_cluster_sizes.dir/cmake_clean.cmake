@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_sizes.dir/test_cluster_sizes.cc.o"
+  "CMakeFiles/test_cluster_sizes.dir/test_cluster_sizes.cc.o.d"
+  "test_cluster_sizes"
+  "test_cluster_sizes.pdb"
+  "test_cluster_sizes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

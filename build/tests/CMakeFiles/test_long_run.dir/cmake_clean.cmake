@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_long_run.dir/test_long_run.cc.o"
+  "CMakeFiles/test_long_run.dir/test_long_run.cc.o.d"
+  "test_long_run"
+  "test_long_run.pdb"
+  "test_long_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_long_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stages_unit.dir/test_stages_unit.cc.o"
+  "CMakeFiles/test_stages_unit.dir/test_stages_unit.cc.o.d"
+  "test_stages_unit"
+  "test_stages_unit.pdb"
+  "test_stages_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stages_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "campaign/phase1.hh"
+#include "campaign/thread_pool.hh"
 #include "exp/behavior_db.hh"
 #include "exp/report.hh"
 #include "exp/stages.hh"
@@ -31,21 +33,33 @@ cachePath()
     return env ? env : "performa_phase1.csv";
 }
 
-/** Load-or-measure the full behaviour database, with progress dots. */
+/**
+ * Load-or-measure the full behaviour database. Missing grid points
+ * are measured in parallel on the campaign worker pool (--jobs via
+ * PERFORMA_JOBS; defaults to the hardware threads) with structured
+ * done/total progress. Per-job seeds are scheduling-independent, so
+ * the resulting cache is byte-identical for any worker count.
+ */
 inline exp::BehaviorDb
 loadBehaviors()
 {
     exp::BehaviorDb db;
     std::string path = cachePath();
-    std::printf("phase-1 behaviours (cache: %s)\n", path.c_str());
-    db.ensureAll(path, [](press::Version v, fault::FaultKind k,
-                          bool cached) {
-        if (!cached) {
-            std::printf("  measured %-13s x %s\n", press::versionName(v),
-                        fault::faultName(k));
-            std::fflush(stdout);
-        }
-    });
+    std::printf("phase-1 behaviours (cache: %s, jobs: %u)\n",
+                path.c_str(), campaign::defaultWorkerCount());
+    campaign::Phase1Options opts;
+    opts.progress = [](const campaign::Progress &p) {
+        std::printf("  [%2zu/%2zu] measured %-32s %5.1fs  "
+                    "elapsed %.0fs  eta %.0fs\n",
+                    p.done, p.total, p.last->label.c_str(),
+                    p.last->wallSeconds, p.elapsedSeconds,
+                    p.etaSeconds);
+        std::fflush(stdout);
+    };
+    campaign::Phase1Result res = campaign::ensurePhase1(db, path, opts);
+    for (const campaign::JobReport &f : res.failures)
+        std::printf("  FAILED %s: %s\n", f.label.c_str(),
+                    f.error.c_str());
     return db;
 }
 

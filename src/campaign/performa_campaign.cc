@@ -1,0 +1,222 @@
+/**
+ * @file
+ * performa_campaign: CLI driver for the phase-1 measurement campaign.
+ * Runs the full (PRESS version x fault kind) behaviour grid — plus
+ * optional cluster-size and load-scale axes — sharded across a worker
+ * thread pool, and writes the behaviour cache atomically.
+ *
+ * Results are bit-identical for any --jobs value: per-job seeds are
+ * derived from (campaign seed, grid point), never from scheduling.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/phase1.hh"
+#include "campaign/thread_pool.hh"
+
+using namespace performa;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Measure the phase-1 behaviour grid (every PRESS version x fault\n"
+        "kind) with fault-injection experiments sharded across a worker\n"
+        "pool, and cache the results.\n"
+        "\n"
+        "options:\n"
+        "  --jobs N       worker threads (default: PERFORMA_JOBS env,\n"
+        "                 else hardware threads)\n"
+        "  --cache PATH   behaviour cache file (default:\n"
+        "                 PERFORMA_PHASE1_CACHE env, else\n"
+        "                 performa_phase1.csv); extra axes get\n"
+        "                 .nN / .xSCALE suffixes\n"
+        "  --seed S       campaign seed (default 42)\n"
+        "  --nodes LIST   comma-separated cluster sizes (default 4)\n"
+        "  --scale LIST   comma-separated offered-load scales\n"
+        "                 (default 1.0)\n"
+        "  --fresh        re-measure everything, ignore cached rows\n"
+        "  --list         print the grid and per-job seeds, then exit\n"
+        "  --quiet        suppress per-job progress\n"
+        "  --help         this text\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::string
+defaultCachePath()
+{
+    const char *env = std::getenv("PERFORMA_PHASE1_CACHE");
+    return env ? env : "performa_phase1.csv";
+}
+
+/** Cache path for one (nodes, scale) combo: plain for the default. */
+std::string
+comboCachePath(const std::string &base, std::uint32_t nodes,
+               double scale)
+{
+    std::string path = base;
+    if (nodes != 4)
+        path += ".n" + std::to_string(nodes);
+    if (scale != 1.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, ".x%g", scale);
+        path += buf;
+    }
+    return path;
+}
+
+std::string
+fmtDuration(double s)
+{
+    char buf[32];
+    if (s >= 60)
+        std::snprintf(buf, sizeof buf, "%dm%02ds", int(s) / 60,
+                      int(s) % 60);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fs", s);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    std::string cache = defaultCachePath();
+    std::uint64_t seed = 42;
+    std::vector<std::uint32_t> nodeAxis = {4};
+    std::vector<double> scaleAxis = {1.0};
+    bool fresh = false, quiet = false, list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *opt) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", opt);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(value("--jobs"), nullptr, 10));
+        } else if (arg == "--cache") {
+            cache = value("--cache");
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value("--seed"), nullptr, 10);
+        } else if (arg == "--nodes") {
+            nodeAxis.clear();
+            for (const std::string &tok : splitCsv(value("--nodes")))
+                nodeAxis.push_back(static_cast<std::uint32_t>(
+                    std::strtoul(tok.c_str(), nullptr, 10)));
+        } else if (arg == "--scale") {
+            scaleAxis.clear();
+            for (const std::string &tok : splitCsv(value("--scale")))
+                scaleAxis.push_back(std::strtod(tok.c_str(), nullptr));
+        } else if (arg == "--fresh") {
+            fresh = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (nodeAxis.empty() || scaleAxis.empty()) {
+        std::fprintf(stderr, "empty --nodes/--scale axis\n");
+        return 2;
+    }
+
+    if (list) {
+        for (std::uint32_t n : nodeAxis)
+            for (double x : scaleAxis)
+                for (press::Version v : press::allVersions)
+                    for (fault::FaultKind k : fault::allFaultKinds)
+                        std::printf(
+                            "%-13s %-15s nodes=%u scale=%g "
+                            "seed=%016llx\n",
+                            press::versionName(v), fault::faultName(k),
+                            n, x,
+                            static_cast<unsigned long long>(
+                                campaign::phase1Seed(seed, v, k, n, x)));
+        return 0;
+    }
+
+    unsigned effective =
+        jobs ? jobs : campaign::defaultWorkerCount();
+    bool anyFailed = false;
+
+    for (std::uint32_t n : nodeAxis) {
+        for (double x : scaleAxis) {
+            campaign::Phase1Options opts;
+            opts.workers = jobs;
+            opts.campaignSeed = seed;
+            opts.numNodes = n;
+            opts.loadScale = x;
+            opts.fresh = fresh;
+            std::string path = comboCachePath(cache, n, x);
+            std::printf("campaign: %zu-point grid, nodes=%u scale=%g "
+                        "jobs=%u cache=%s\n",
+                        std::size(press::allVersions) *
+                            std::size(fault::allFaultKinds),
+                        n, x, effective, path.c_str());
+            if (!quiet) {
+                opts.progress = [](const campaign::Progress &p) {
+                    std::printf("  [%2zu/%2zu] %-7s %-32s %6.1fs"
+                                "   elapsed %-7s eta %s\n",
+                                p.done, p.total,
+                                p.last->ok ? "done" : "FAILED",
+                                p.last->label.c_str(),
+                                p.last->wallSeconds,
+                                fmtDuration(p.elapsedSeconds).c_str(),
+                                fmtDuration(p.etaSeconds).c_str());
+                    std::fflush(stdout);
+                };
+            }
+            exp::BehaviorDb db;
+            campaign::Phase1Result res =
+                campaign::ensurePhase1(db, path, opts);
+            std::printf("campaign: %zu measured, %zu cached, "
+                        "%zu failed in %s\n",
+                        res.measured, res.cached, res.failed,
+                        fmtDuration(res.wallSeconds).c_str());
+            for (const campaign::JobReport &f : res.failures)
+                std::printf("  FAILED %s: %s\n", f.label.c_str(),
+                            f.error.c_str());
+            if (!res.ok())
+                anyFailed = true;
+        }
+    }
+    return anyFailed ? 1 : 0;
+}

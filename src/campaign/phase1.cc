@@ -1,0 +1,161 @@
+#include "campaign/phase1.hh"
+
+#include <iterator>
+
+#include "campaign/seed.hh"
+#include "exp/stages.hh"
+
+namespace performa::campaign {
+
+std::uint64_t
+phase1Seed(std::uint64_t campaign_seed, press::Version v,
+           fault::FaultKind k, std::uint32_t num_nodes,
+           double load_scale)
+{
+    // Version 1 of the derivation; bump the leading component if the
+    // scheme ever changes so stale caches can't masquerade as fresh.
+    return deriveSeed(campaign_seed,
+                      {1ull, static_cast<std::uint64_t>(v),
+                       static_cast<std::uint64_t>(k),
+                       static_cast<std::uint64_t>(num_nodes),
+                       seedComponent(load_scale)});
+}
+
+std::uint64_t
+phase1Tag(press::Version v, fault::FaultKind k)
+{
+    return (static_cast<std::uint64_t>(v) << 32) |
+           static_cast<std::uint32_t>(k);
+}
+
+exp::BehaviorDb::Key
+phase1TagKey(std::uint64_t tag)
+{
+    return {static_cast<press::Version>(tag >> 32),
+            static_cast<fault::FaultKind>(tag & 0xffffffffu)};
+}
+
+exp::ExperimentConfig
+phase1Config(press::Version v, fault::FaultKind k,
+             const Phase1Options &opts)
+{
+    exp::ExperimentConfig cfg = exp::experimentFor(v, k);
+    cfg.cluster.press.numNodes = opts.numNodes;
+    cfg.workload.requestRate *= opts.loadScale;
+    cfg.seed = phase1Seed(opts.campaignSeed, v, k, opts.numNodes,
+                          opts.loadScale);
+    return cfg;
+}
+
+Phase1Result
+ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
+             const Phase1Options &opts)
+{
+    std::vector<press::Version> versions = opts.versions;
+    if (versions.empty())
+        versions.assign(std::begin(press::allVersions),
+                        std::end(press::allVersions));
+    std::vector<fault::FaultKind> faults = opts.faults;
+    if (faults.empty())
+        faults.assign(std::begin(fault::allFaultKinds),
+                      std::end(fault::allFaultKinds));
+
+    Phase1Result result;
+    if (!opts.fresh && !cache_path.empty())
+        db.load(cache_path);
+
+    std::vector<exp::BehaviorDb::Key> todo;
+    for (press::Version v : versions) {
+        for (fault::FaultKind k : faults) {
+            if (!opts.fresh && db.has(v, k))
+                ++result.cached;
+            else
+                todo.push_back({v, k});
+        }
+    }
+    if (todo.empty())
+        return result;
+
+    // Jobs write into slots indexed like `todo`; merging back into
+    // the (ordered) BehaviorDb happens after the barrier, in key
+    // order, so the database never depends on completion order.
+    std::vector<model::MeasuredBehavior> slots(todo.size());
+    auto measure = opts.measureFn;
+    if (!measure)
+        measure = [](const exp::ExperimentConfig &cfg) {
+            exp::ExperimentResult res = exp::runExperiment(cfg);
+            return exp::extractBehavior(res, *cfg.fault);
+        };
+
+    std::vector<Job> jobs;
+    jobs.reserve(todo.size());
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        auto [v, k] = todo[i];
+        exp::ExperimentConfig cfg = phase1Config(v, k, opts);
+        Job job;
+        job.label = std::string(press::versionName(v)) + " x " +
+                    fault::faultName(k);
+        job.seed = cfg.seed;
+        job.tag = phase1Tag(v, k);
+        job.work = [&slots, i, cfg, &measure](const Job &) {
+            slots[i] = measure(cfg);
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    RunnerConfig rc;
+    rc.workers = opts.workers;
+    rc.progress = opts.progress;
+    CampaignReport report = runCampaign(jobs, rc);
+
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        if (report.jobs[i].ok) {
+            db.set(todo[i].first, todo[i].second, slots[i]);
+            ++result.measured;
+        } else {
+            ++result.failed;
+            result.failures.push_back(report.jobs[i]);
+        }
+    }
+    result.wallSeconds = report.wallSeconds;
+
+    if (result.measured > 0 && !cache_path.empty())
+        db.save(cache_path);
+    return result;
+}
+
+} // namespace performa::campaign
+
+namespace performa::exp {
+
+// BehaviorDb::ensureAll is declared with the database (exp/) but
+// implemented here so the serial fallback and the parallel campaign
+// are one code path. Link performa_campaign (or the `performa`
+// umbrella) to use it.
+void
+BehaviorDb::ensureAll(const std::string &cache_path,
+                      std::function<void(press::Version,
+                                         fault::FaultKind, bool)>
+                          progress)
+{
+    campaign::Phase1Options opts;
+    if (progress) {
+        // Cached pairs are reported up front (in grid order) so the
+        // legacy per-pair callback still sees every grid point;
+        // measured pairs stream in as their jobs complete.
+        BehaviorDb cached;
+        if (!cache_path.empty())
+            cached.load(cache_path);
+        for (press::Version v : press::allVersions)
+            for (fault::FaultKind k : fault::allFaultKinds)
+                if (cached.has(v, k))
+                    progress(v, k, true);
+        opts.progress = [&progress](const campaign::Progress &p) {
+            auto [v, k] = campaign::phase1TagKey(p.last->tag);
+            progress(v, k, false);
+        };
+    }
+    campaign::ensurePhase1(*this, cache_path, opts);
+}
+
+} // namespace performa::exp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The phase-1 measurement campaign: every (PRESS version, fault kind)
+ * pair of the study, measured as independent fault-injection
+ * experiments sharded across a worker pool. This is the parallel
+ * engine behind BehaviorDb::ensureAll and the performa_campaign CLI.
+ *
+ * Determinism contract: each job's RNG seed is a pure function of
+ * (campaign seed, version, fault kind, cluster size, load scale) —
+ * see phase1Seed() — and completed behaviours are merged into the
+ * BehaviorDb in key order, so the resulting database (and its saved
+ * CSV) is byte-identical for any worker count.
+ */
+
+#ifndef PERFORMA_CAMPAIGN_PHASE1_HH
+#define PERFORMA_CAMPAIGN_PHASE1_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "exp/behavior_db.hh"
+
+namespace performa::campaign {
+
+/** Per-job seed for one grid point. Pure; order-independent. */
+std::uint64_t phase1Seed(std::uint64_t campaign_seed, press::Version v,
+                         fault::FaultKind k, std::uint32_t num_nodes = 4,
+                         double load_scale = 1.0);
+
+/** Pack a grid point into a Job::tag (and back from a JobReport). */
+std::uint64_t phase1Tag(press::Version v, fault::FaultKind k);
+exp::BehaviorDb::Key phase1TagKey(std::uint64_t tag);
+
+/** One phase-1 campaign's parameters. */
+struct Phase1Options
+{
+    /** Worker threads; 0 means PERFORMA_JOBS / hardware threads. */
+    unsigned workers = 0;
+    /** Root seed every per-job seed is derived from. */
+    std::uint64_t campaignSeed = 42;
+
+    /** Grid subset; empty means all five Table 1 versions. */
+    std::vector<press::Version> versions;
+    /** Grid subset; empty means all Table 2 fault kinds. */
+    std::vector<fault::FaultKind> faults;
+
+    /** Optional extra axes (defaults reproduce the paper's testbed). */
+    std::uint32_t numNodes = 4;
+    double loadScale = 1.0; ///< scales the saturating offered load
+
+    /** Re-measure everything, ignoring cached rows. */
+    bool fresh = false;
+
+    /** Streamed per-job progress (serialized; completion order). */
+    ProgressFn progress;
+
+    /**
+     * Experiment-runner override, for tests: maps a fully-built
+     * config (seed already derived) to a measured behaviour. Defaults
+     * to exp::runExperiment + exp::extractBehavior.
+     */
+    std::function<model::MeasuredBehavior(const exp::ExperimentConfig &)>
+        measureFn;
+};
+
+/** What a phase-1 campaign did. */
+struct Phase1Result
+{
+    std::size_t measured = 0; ///< jobs run and merged
+    std::size_t cached = 0;   ///< grid points already in the cache
+    std::size_t failed = 0;   ///< jobs that threw; not merged
+    std::vector<JobReport> failures;
+    double wallSeconds = 0;
+
+    bool ok() const { return failed == 0; }
+};
+
+/** The experiment config for one grid point, per-job seed applied. */
+exp::ExperimentConfig phase1Config(press::Version v, fault::FaultKind k,
+                                   const Phase1Options &opts);
+
+/**
+ * Ensure @p db holds a behaviour for every grid point: load
+ * @p cache_path when it exists, measure the missing points in
+ * parallel, merge them in deterministic key order, and atomically
+ * rewrite the cache. An empty @p cache_path disables caching.
+ */
+Phase1Result ensurePhase1(exp::BehaviorDb &db,
+                          const std::string &cache_path,
+                          const Phase1Options &opts = {});
+
+} // namespace performa::campaign
+
+#endif // PERFORMA_CAMPAIGN_PHASE1_HH

@@ -1,0 +1,98 @@
+#include "campaign/runner.hh"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "campaign/thread_pool.hh"
+
+namespace performa::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const std::vector<Job> &jobs, const RunnerConfig &cfg)
+{
+    CampaignReport report;
+    report.jobs.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        report.jobs[i].index = i;
+        report.jobs[i].label = jobs[i].label;
+        report.jobs[i].tag = jobs[i].tag;
+    }
+    if (jobs.empty())
+        return report;
+
+    Clock::time_point t0 = Clock::now();
+    // Results land in per-job slots; `state_mu` only guards the
+    // shared progress counters and the callback, so job execution
+    // itself runs lock-free and in parallel.
+    std::mutex state_mu;
+    std::size_t done = 0;
+    std::vector<char> completed(jobs.size(), 0);
+
+    unsigned workers = cfg.workers ? cfg.workers : defaultWorkerCount();
+    {
+        ThreadPool pool(workers);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] {
+                const Job &job = jobs[i];
+                JobReport &jr = report.jobs[i];
+                Clock::time_point js = Clock::now();
+                try {
+                    if (job.work)
+                        job.work(job);
+                    jr.ok = true;
+                } catch (const std::exception &e) {
+                    jr.ok = false;
+                    jr.error = e.what();
+                } catch (...) {
+                    jr.ok = false;
+                    jr.error = "unknown exception";
+                }
+                jr.wallSeconds = secondsSince(js);
+
+                std::lock_guard<std::mutex> lk(state_mu);
+                completed[i] = 1;
+                ++done;
+                if (!jr.ok) {
+                    ++report.failed;
+                    if (cfg.cancelOnFailure)
+                        pool.cancel();
+                }
+                if (cfg.progress) {
+                    Progress p;
+                    p.done = done;
+                    p.total = jobs.size();
+                    p.failed = report.failed;
+                    p.elapsedSeconds = secondsSince(t0);
+                    p.etaSeconds =
+                        done ? p.elapsedSeconds / double(done) *
+                                   double(jobs.size() - done)
+                             : 0.0;
+                    p.last = &jr;
+                    cfg.progress(p);
+                }
+            });
+        }
+        pool.drain();
+    } // joins workers
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!completed[i])
+            ++report.skipped;
+    report.wallSeconds = secondsSince(t0);
+    return report;
+}
+
+} // namespace performa::campaign

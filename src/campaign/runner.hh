@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The campaign runner: shards a vector of independent, deterministic
+ * jobs across a ThreadPool, captures per-job failures without killing
+ * the campaign, and streams structured progress (done/total, elapsed,
+ * ETA, per-job wall time) through a serialized callback.
+ *
+ * Determinism contract: a job's observable result may depend only on
+ * its own inputs (label, seed, captured state) — never on worker
+ * count, submission order, or completion order. The runner enforces
+ * the frame for this (per-job seeds, indexed result slots); the
+ * phase-1 grid driver (phase1.hh) supplies seeds that are pure
+ * functions of (campaign seed, job identity).
+ */
+
+#ifndef PERFORMA_CAMPAIGN_RUNNER_HH
+#define PERFORMA_CAMPAIGN_RUNNER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace performa::campaign {
+
+/** One unit of campaign work. */
+struct Job
+{
+    /** Human-readable identity, e.g. "TCP x link-down". */
+    std::string label;
+    /**
+     * The job's RNG seed — derived by the campaign author from the
+     * campaign seed and the job's identity (see seed.hh), never from
+     * its position in the queue.
+     */
+    std::uint64_t seed = 0;
+    /** Opaque caller identity, echoed back in the JobReport. */
+    std::uint64_t tag = 0;
+    /** The work. May throw; the runner records, the campaign lives. */
+    std::function<void(const Job &)> work;
+};
+
+/** What happened to one job. */
+struct JobReport
+{
+    std::size_t index = 0;  ///< position in the submitted job vector
+    std::string label;
+    std::uint64_t tag = 0;  ///< copied from the Job
+    bool ok = false;
+    std::string error;      ///< exception message when !ok
+    double wallSeconds = 0; ///< wall-clock time inside work()
+};
+
+/** A progress snapshot, delivered once per completed job. */
+struct Progress
+{
+    std::size_t done = 0;   ///< jobs finished (ok or failed)
+    std::size_t total = 0;
+    std::size_t failed = 0;
+    double elapsedSeconds = 0;
+    /** Simple remaining-work estimate: elapsed/done * (total-done). */
+    double etaSeconds = 0;
+    /** The job that just finished. */
+    const JobReport *last = nullptr;
+};
+
+using ProgressFn = std::function<void(const Progress &)>;
+
+struct RunnerConfig
+{
+    /** Worker threads; 0 means defaultWorkerCount(). */
+    unsigned workers = 0;
+    /**
+     * Invoked after each job completes. Calls are serialized (one at
+     * a time) but arrive in completion order, which varies with
+     * worker count — don't let output depend on it.
+     */
+    ProgressFn progress;
+    /** Abandon queued jobs after the first failure. */
+    bool cancelOnFailure = false;
+};
+
+/** Everything a campaign run produces. */
+struct CampaignReport
+{
+    /** One report per submitted job, in submission order. */
+    std::vector<JobReport> jobs;
+    std::size_t failed = 0;
+    std::size_t skipped = 0; ///< cancelled before starting
+    double wallSeconds = 0;
+
+    bool allOk() const { return failed == 0 && skipped == 0; }
+};
+
+/**
+ * Run every job to completion (or cancellation) and return the
+ * per-job reports. Blocking; thread-safe for concurrent campaigns.
+ */
+CampaignReport runCampaign(const std::vector<Job> &jobs,
+                           const RunnerConfig &cfg = {});
+
+} // namespace performa::campaign
+
+#endif // PERFORMA_CAMPAIGN_RUNNER_HH

@@ -58,28 +58,8 @@ BehaviorDb::measure(press::Version v, fault::FaultKind k)
     return extractBehavior(res, *cfg.fault);
 }
 
-void
-BehaviorDb::ensureAll(const std::string &cache_path,
-                      std::function<void(press::Version,
-                                         fault::FaultKind, bool)>
-                          progress)
-{
-    load(cache_path);
-    bool dirty = false;
-    for (press::Version v : press::allVersions) {
-        for (fault::FaultKind k : fault::allFaultKinds) {
-            bool cached = has(v, k);
-            if (!cached) {
-                set(v, k, measure(v, k));
-                dirty = true;
-            }
-            if (progress)
-                progress(v, k, cached);
-        }
-    }
-    if (dirty && !cache_path.empty())
-        save(cache_path);
-}
+// ensureAll lives in campaign/phase1.cc: measurement of the missing
+// grid points is sharded across the campaign worker pool.
 
 bool
 BehaviorDb::has(press::Version v, fault::FaultKind k) const
@@ -146,7 +126,10 @@ BehaviorDb::load(const std::string &path)
 void
 BehaviorDb::save(const std::string &path) const
 {
-    std::ofstream out(path);
+    // Write-to-temp + rename: an interrupted run must never leave a
+    // truncated cache that a later run silently loads as complete.
+    std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
     if (!out)
         return;
     out << "version,fault,tn,detected,healed";
@@ -166,6 +149,14 @@ BehaviorDb::save(const std::string &path) const
             out << ',' << mb.dur[s];
         out << "\n";
     }
+    out.flush();
+    if (!out) {
+        std::remove(tmp.c_str());
+        return;
+    }
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
 }
 
 } // namespace performa::exp

@@ -40,9 +40,13 @@ class BehaviorDb
 
     /**
      * Ensure every (version, fault) pair is present: load cached rows
-     * from @p cache_path when it exists, measure and append the rest,
-     * and rewrite the cache. @p progress (optional) is invoked per
-     * measured pair.
+     * from @p cache_path when it exists, measure the rest in parallel
+     * on the campaign worker pool (PERFORMA_JOBS workers; see
+     * campaign/phase1.hh for the determinism contract), and rewrite
+     * the cache atomically. @p progress (optional) is invoked per
+     * pair — cached pairs first in grid order, then measured pairs in
+     * completion order. Implemented in campaign/phase1.cc; link
+     * performa_campaign (or the `performa` umbrella).
      */
     void ensureAll(const std::string &cache_path,
                    std::function<void(press::Version,

@@ -6,12 +6,8 @@
 
 namespace performa::proto {
 
-namespace {
-
-/** Globally unique connection identifiers (simulation-wide). */
-std::uint64_t nextConnId = 1;
-
-} // namespace
+// Connection identifiers come from Simulation::allocId(): unique
+// within one simulated world, race-free across concurrent worlds.
 
 TcpComm::TcpComm(osim::Node &node, TcpConfig cfg,
                  const std::unordered_map<sim::NodeId, net::PortId>
@@ -150,7 +146,7 @@ TcpComm::setAppReceiving(bool on)
 void
 TcpComm::connect(sim::NodeId peer)
 {
-    std::uint64_t id = nextConnId++;
+    std::uint64_t id = node_.simulation().allocId();
     Conn &c = conns_[id];
     c.id = id;
     c.peer = peer;

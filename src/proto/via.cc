@@ -6,11 +6,8 @@
 
 namespace performa::proto {
 
-namespace {
-
-std::uint64_t nextViId = 1;
-
-} // namespace
+// VI identifiers come from Simulation::allocId(): unique within one
+// simulated world, race-free across concurrent worlds.
 
 ViaComm::ViaComm(osim::Node &node, ViaConfig cfg,
                  const std::unordered_map<sim::NodeId, net::PortId>
@@ -181,7 +178,7 @@ ViaComm::sendControl(sim::NodeId peer, FrameKind kind, std::uint64_t vi_id)
 void
 ViaComm::connect(sim::NodeId peer)
 {
-    std::uint64_t id = nextViId++;
+    std::uint64_t id = node_.simulation().allocId();
     Vi &vi = vis_[id];
     vi.id = id;
     vi.peer = peer;

@@ -4,7 +4,7 @@
 
 namespace performa::sim {
 
-bool Trace::enabled_ = false;
+std::atomic<bool> Trace::enabled_{false};
 
 void
 panicImpl(const char *file, int line, const std::string &msg)

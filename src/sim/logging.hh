@@ -9,6 +9,7 @@
 #ifndef PERFORMA_SIM_LOGGING_HH
 #define PERFORMA_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -70,11 +71,22 @@ concat(Args &&...args)
 class Trace
 {
   public:
-    /** Globally enable or disable tracing. */
-    static void enable(bool on) { enabled_ = on; }
+    /**
+     * Globally enable or disable tracing. Atomic: the flag is the
+     * one piece of cross-simulation global state, and campaign
+     * workers running concurrent Simulations read it constantly.
+     */
+    static void enable(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
 
     /** @return true if tracing is on. */
-    static bool enabled() { return enabled_; }
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Emit one trace line, prefixed with the simulated time and a
@@ -84,7 +96,7 @@ class Trace
     static void
     log(Tick now, const char *tag, Args &&...args)
     {
-        if (!enabled_)
+        if (!enabled())
             return;
         std::string body = detail::concat(std::forward<Args>(args)...);
         std::fprintf(stderr, "[%10.4fs] %s: %s\n", toSeconds(now), tag,
@@ -92,7 +104,7 @@ class Trace
     }
 
   private:
-    static bool enabled_;
+    static std::atomic<bool> enabled_;
 };
 
 } // namespace performa::sim

@@ -36,6 +36,14 @@ class Simulation
     /** Current simulated time. */
     Tick now() const { return events_.now(); }
 
+    /**
+     * Allocate a run-unique identifier (TCP connections, VIs, ...).
+     * Run-scoped rather than process-global so concurrent
+     * Simulations (campaign workers) stay race-free and each run's
+     * identifiers are deterministic.
+     */
+    std::uint64_t allocId() { return nextId_++; }
+
     /** Convenience forwarders. */
     EventHandle
     schedule(Tick when, EventQueue::Handler fn)
@@ -54,6 +62,7 @@ class Simulation
   private:
     EventQueue events_;
     Rng rng_;
+    std::uint64_t nextId_ = 1;
 };
 
 } // namespace performa::sim

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the campaign subsystem: thread pool, runner exception
+ * capture, deterministic per-job seeding, and the phase-1 grid
+ * campaign's worker-count-independent results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/phase1.hh"
+#include "campaign/runner.hh"
+#include "campaign/seed.hh"
+#include "campaign/thread_pool.hh"
+#include "exp/stages.hh"
+
+using namespace performa;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** A deterministic fake behaviour derived purely from the job seed. */
+model::MeasuredBehavior
+fakeBehavior(std::uint64_t seed)
+{
+    model::MeasuredBehavior mb;
+    std::uint64_t h = seed;
+    auto next = [&h] {
+        h = campaign::mix64(h);
+        return double(h % 100000) / 7.0;
+    };
+    mb.normalTput = next();
+    mb.detected = (campaign::mix64(h) & 1) != 0;
+    mb.healed = (campaign::mix64(h) & 2) != 0;
+    for (int s = 0; s < model::numStages; ++s) {
+        mb.tput[static_cast<std::size_t>(s)] = next();
+        mb.dur[static_cast<std::size_t>(s)] = next();
+    }
+    return mb;
+}
+
+/** Full default grid as ensurePhase1 builds it. */
+std::vector<exp::BehaviorDb::Key>
+fullGrid()
+{
+    std::vector<exp::BehaviorDb::Key> grid;
+    for (press::Version v : press::allVersions)
+        for (fault::FaultKind k : fault::allFaultKinds)
+            grid.push_back({v, k});
+    return grid;
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    campaign::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, CancelDropsQueuedTasks)
+{
+    campaign::ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.cancel();
+    pool.drain();
+    EXPECT_TRUE(pool.cancelled());
+    EXPECT_LE(ran.load(), 32);
+    int after = ran.load();
+    pool.submit([&ran] { ++ran; }); // dropped: pool is cancelled
+    pool.drain();
+    EXPECT_EQ(ran.load(), after);
+}
+
+TEST(Runner, ThrowingJobIsReportedOthersComplete)
+{
+    std::atomic<int> ran{0};
+    std::vector<campaign::Job> jobs;
+    for (int i = 0; i < 8; ++i) {
+        campaign::Job j;
+        j.label = "job" + std::to_string(i);
+        j.work = [i, &ran](const campaign::Job &) {
+            if (i == 3)
+                throw std::runtime_error("deliberate failure");
+            ++ran;
+        };
+        jobs.push_back(std::move(j));
+    }
+    campaign::RunnerConfig rc;
+    rc.workers = 4;
+    campaign::CampaignReport rep = campaign::runCampaign(jobs, rc);
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_EQ(rep.skipped, 0u);
+    EXPECT_EQ(ran.load(), 7);
+    EXPECT_FALSE(rep.jobs[3].ok);
+    EXPECT_EQ(rep.jobs[3].error, "deliberate failure");
+    for (int i = 0; i < 8; ++i)
+        if (i != 3)
+            EXPECT_TRUE(rep.jobs[static_cast<std::size_t>(i)].ok);
+}
+
+TEST(Runner, CancelOnFailureSkipsRemainingJobs)
+{
+    std::vector<campaign::Job> jobs;
+    for (int i = 0; i < 4; ++i) {
+        campaign::Job j;
+        j.label = "job" + std::to_string(i);
+        j.work = [i](const campaign::Job &) {
+            if (i == 0)
+                throw std::runtime_error("fail fast");
+        };
+        jobs.push_back(std::move(j));
+    }
+    campaign::RunnerConfig rc;
+    rc.workers = 1; // deterministic: job0 fails before job1 starts
+    rc.cancelOnFailure = true;
+    campaign::CampaignReport rep = campaign::runCampaign(jobs, rc);
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_EQ(rep.skipped, 3u);
+    EXPECT_FALSE(rep.allOk());
+}
+
+TEST(Runner, ProgressStreamsDoneTotalAndLabels)
+{
+    std::vector<campaign::Job> jobs(5);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].label = "j" + std::to_string(i);
+        jobs[i].work = [](const campaign::Job &) {};
+    }
+    std::vector<std::size_t> dones;
+    std::vector<std::string> labels;
+    campaign::RunnerConfig rc;
+    rc.workers = 2;
+    rc.progress = [&](const campaign::Progress &p) {
+        dones.push_back(p.done);
+        labels.push_back(p.last->label);
+        EXPECT_EQ(p.total, 5u);
+    };
+    campaign::runCampaign(jobs, rc);
+    ASSERT_EQ(dones.size(), 5u);
+    // Calls are serialized: done counts 1..5 in order.
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(dones[i], i + 1);
+    std::sort(labels.begin(), labels.end());
+    EXPECT_EQ(labels, (std::vector<std::string>{"j0", "j1", "j2",
+                                                "j3", "j4"}));
+}
+
+TEST(Seeds, PureFunctionOfIdentityNotOrder)
+{
+    auto grid = fullGrid();
+    // Canonical seeds, derived in grid order.
+    std::map<exp::BehaviorDb::Key, std::uint64_t> canonical;
+    for (auto [v, k] : grid)
+        canonical[{v, k}] = campaign::phase1Seed(42, v, k);
+
+    // Re-derive after shuffling the evaluation order: identical.
+    std::mt19937 shuffler(7);
+    std::shuffle(grid.begin(), grid.end(), shuffler);
+    for (auto [v, k] : grid)
+        EXPECT_EQ(campaign::phase1Seed(42, v, k), (canonical[{v, k}]));
+
+    // All grid points draw distinct seeds.
+    std::set<std::uint64_t> uniq;
+    for (auto &[key, seed] : canonical)
+        uniq.insert(seed);
+    EXPECT_EQ(uniq.size(), canonical.size());
+
+    // Campaign seed, cluster size and load scale all separate seeds.
+    auto [v0, k0] = grid.front();
+    std::uint64_t base = campaign::phase1Seed(42, v0, k0);
+    EXPECT_NE(base, campaign::phase1Seed(43, v0, k0));
+    EXPECT_NE(base, campaign::phase1Seed(42, v0, k0, 8));
+    EXPECT_NE(base, campaign::phase1Seed(42, v0, k0, 4, 1.25));
+}
+
+TEST(Seeds, StableAcrossShuffledSubmissionOrder)
+{
+    // Jobs record the seed they actually ran with; shuffling the
+    // submission order must not change any job's seed.
+    auto grid = fullGrid();
+    std::mt19937 shuffler(11);
+    std::shuffle(grid.begin(), grid.end(), shuffler);
+
+    std::mutex mu;
+    std::map<std::uint64_t, std::uint64_t> seenByTag;
+    std::vector<campaign::Job> jobs;
+    for (auto [v, k] : grid) {
+        campaign::Job j;
+        j.label = "x";
+        j.seed = campaign::phase1Seed(42, v, k);
+        j.tag = campaign::phase1Tag(v, k);
+        j.work = [&mu, &seenByTag](const campaign::Job &self) {
+            std::lock_guard<std::mutex> lk(mu);
+            seenByTag[self.tag] = self.seed;
+        };
+        jobs.push_back(std::move(j));
+    }
+    campaign::RunnerConfig rc;
+    rc.workers = 4;
+    campaign::runCampaign(jobs, rc);
+    ASSERT_EQ(seenByTag.size(), grid.size());
+    for (auto &[tag, seed] : seenByTag) {
+        auto [v, k] = campaign::phase1TagKey(tag);
+        EXPECT_EQ(seed, campaign::phase1Seed(42, v, k));
+    }
+}
+
+TEST(Phase1, ParallelRunIsByteIdenticalToSerialRun)
+{
+    auto runWith = [](unsigned workers, const std::string &path) {
+        std::remove(path.c_str());
+        exp::BehaviorDb db;
+        campaign::Phase1Options opts;
+        opts.workers = workers;
+        opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+            return fakeBehavior(cfg.seed);
+        };
+        campaign::Phase1Result res =
+            campaign::ensurePhase1(db, path, opts);
+        EXPECT_EQ(res.failed, 0u);
+        EXPECT_EQ(res.measured, fullGrid().size());
+        return db;
+    };
+    std::string p1 = tmpPath("campaign_serial.csv");
+    std::string p4 = tmpPath("campaign_parallel.csv");
+    runWith(1, p1);
+    runWith(4, p4);
+    std::string serial = slurp(p1);
+    std::string parallel = slurp(p4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel); // byte-identical cache
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+TEST(Phase1, FailedJobReportedWhileRestOfCampaignCompletes)
+{
+    exp::BehaviorDb db;
+    campaign::Phase1Options opts;
+    opts.workers = 4;
+    press::Version badV = press::Version::ViaPress3;
+    fault::FaultKind badK = fault::FaultKind::NodeCrash;
+    std::uint64_t badSeed = campaign::phase1Seed(42, badV, badK);
+    opts.measureFn = [badSeed](const exp::ExperimentConfig &cfg) {
+        if (cfg.seed == badSeed)
+            throw std::runtime_error("simulated job crash");
+        return fakeBehavior(cfg.seed);
+    };
+    campaign::Phase1Result res = campaign::ensurePhase1(db, "", opts);
+    EXPECT_EQ(res.failed, 1u);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.failures.size(), 1u);
+    EXPECT_EQ(res.failures[0].error, "simulated job crash");
+    EXPECT_EQ(res.failures[0].label,
+              std::string(press::versionName(badV)) + " x " +
+                  fault::faultName(badK));
+    EXPECT_EQ(res.measured, fullGrid().size() - 1);
+    EXPECT_FALSE(db.has(badV, badK));
+    for (auto [v, k] : fullGrid())
+        if (!(v == badV && k == badK))
+            EXPECT_TRUE(db.has(v, k));
+}
+
+TEST(Phase1, SecondRunUsesCacheAndMeasuresNothing)
+{
+    std::string path = tmpPath("campaign_cache.csv");
+    std::remove(path.c_str());
+    campaign::Phase1Options opts;
+    opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+        return fakeBehavior(cfg.seed);
+    };
+    exp::BehaviorDb first;
+    campaign::Phase1Result r1 =
+        campaign::ensurePhase1(first, path, opts);
+    EXPECT_EQ(r1.measured, fullGrid().size());
+
+    opts.measureFn = [](const exp::ExperimentConfig &) {
+        throw std::runtime_error("must not re-measure");
+        return model::MeasuredBehavior{};
+    };
+    exp::BehaviorDb second;
+    campaign::Phase1Result r2 =
+        campaign::ensurePhase1(second, path, opts);
+    EXPECT_EQ(r2.measured, 0u);
+    EXPECT_EQ(r2.failed, 0u);
+    EXPECT_EQ(r2.cached, fullGrid().size());
+    EXPECT_EQ(second.size(), first.size());
+    // No temp file left behind by the atomic save.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(Phase1, EnsureAllRoutesThroughTheCampaign)
+{
+    // Pre-populate the cache via a fake campaign, then check the
+    // legacy BehaviorDb::ensureAll entry point loads it and reports
+    // every pair as cached (measuring nothing).
+    std::string path = tmpPath("campaign_ensureall.csv");
+    std::remove(path.c_str());
+    campaign::Phase1Options opts;
+    opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+        return fakeBehavior(cfg.seed);
+    };
+    exp::BehaviorDb seeded;
+    campaign::ensurePhase1(seeded, path, opts);
+
+    exp::BehaviorDb db;
+    std::size_t cachedCalls = 0, measuredCalls = 0;
+    db.ensureAll(path, [&](press::Version, fault::FaultKind,
+                           bool cached) {
+        (cached ? cachedCalls : measuredCalls)++;
+    });
+    EXPECT_EQ(cachedCalls, fullGrid().size());
+    EXPECT_EQ(measuredCalls, 0u);
+    EXPECT_EQ(db.size(), fullGrid().size());
+    std::remove(path.c_str());
+}
+
+TEST(Phase1, ConcurrentRealSimulationsAreRaceFreeAndDeterministic)
+{
+    // Real discrete-event simulations on 4 workers: the guard test
+    // for shared mutable state across concurrent Simulation
+    // instances (run under TSan in CI). Small grid + light load to
+    // keep it fast; results must match a serial run byte-for-byte.
+    auto runWith = [](unsigned workers, const std::string &path) {
+        std::remove(path.c_str());
+        exp::BehaviorDb db;
+        campaign::Phase1Options opts;
+        opts.workers = workers;
+        opts.versions = {press::Version::TcpPress,
+                         press::Version::ViaPress0};
+        opts.faults = {fault::FaultKind::LinkDown,
+                       fault::FaultKind::AppCrash};
+        opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+            exp::ExperimentConfig fast = cfg;
+            fast.workload.requestRate = 900;
+            fast.workload.numFiles = 20000;
+            fast.duration = fast.injectAt + sim::sec(45);
+            exp::ExperimentResult res = exp::runExperiment(fast);
+            return exp::extractBehavior(res, *fast.fault);
+        };
+        campaign::Phase1Result res =
+            campaign::ensurePhase1(db, path, opts);
+        EXPECT_EQ(res.failed, 0u);
+        EXPECT_EQ(res.measured, 4u);
+    };
+    std::string p1 = tmpPath("campaign_real_serial.csv");
+    std::string p4 = tmpPath("campaign_real_parallel.csv");
+    runWith(1, p1);
+    runWith(4, p4);
+    std::string serial = slurp(p1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, slurp(p4));
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}

@@ -36,6 +36,53 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 static void
+BM_EventQueueTimerArmCancel(benchmark::State &state)
+{
+    // Mirrors the TCP hot path (tcp.cc armRto/handleAck): every data
+    // send arms an RTO timer and the matching ACK cancels it before it
+    // fires, so the dominant cost is arm + cancel + queue upkeep, not
+    // execution. The fired counter stays 0 in the steady state.
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim::EventHandle rto = q.scheduleIn(100, [&] { ++fired; });
+        q.cancel(rto);
+        q.runUntil(q.now() + 1);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["heap_final"] = static_cast<double>(q.heapSize());
+}
+BENCHMARK(BM_EventQueueTimerArmCancel);
+
+static void
+BM_EventQueueExpiryFlood(benchmark::State &state)
+{
+    // Mirrors ClosedLoopFarm: every request arms a long (6 s) expiry
+    // timer and the response arrives almost immediately, cancelling
+    // it. Cancelled timers must not linger in the heap for the
+    // remaining simulated seconds; peak_heap verifies the engine
+    // bounds its heap (compaction) instead of accumulating one dead
+    // entry per served request. Iterations are pinned so the peak
+    // heap counter is comparable across engine versions.
+    sim::EventQueue q;
+    std::uint64_t expired = 0;
+    std::size_t peak = 0;
+    for (auto _ : state) {
+        sim::EventHandle expiry =
+            q.scheduleIn(sim::sec(6), [&] { ++expired; });
+        q.runUntil(q.now() + 1); // the response arrives
+        q.cancel(expiry);
+        if (q.heapSize() > peak)
+            peak = q.heapSize();
+    }
+    benchmark::DoNotOptimize(expired);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["peak_heap"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_EventQueueExpiryFlood)->Iterations(1 << 18);
+
+static void
 BM_ZipfSample(benchmark::State &state)
 {
     sim::ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.8);

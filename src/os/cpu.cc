@@ -5,7 +5,7 @@
 namespace performa::osim {
 
 void
-Cpu::exec(sim::Tick cost, std::function<void()> done)
+Cpu::exec(sim::Tick cost, sim::SmallFn done)
 {
     queue_.push_back(Item{cost, std::move(done)});
     maybeStart();
@@ -30,6 +30,7 @@ Cpu::clear()
 {
     queue_.clear();
     ++generation_; // orphan any in-flight completion
+    inflight_.done.reset();
     running_ = false;
 }
 
@@ -39,18 +40,23 @@ Cpu::maybeStart()
     if (running_ || pauseCount_ > 0 || queue_.empty())
         return;
     running_ = true;
-    Item item = std::move(queue_.front());
+    inflight_ = std::move(queue_.front());
     queue_.pop_front();
     std::uint64_t gen = generation_;
-    sim_.scheduleIn(item.cost,
-        [this, gen, cost = item.cost, done = std::move(item.done)] {
-            if (gen != generation_)
-                return; // cleared (node crashed) while in flight
-            busyTime_ += cost;
-            running_ = false;
-            done();
-            maybeStart();
-        });
+    // The item itself parks in inflight_, so the completion event
+    // captures only {this, gen} and always stays in SmallFn's inline
+    // buffer.
+    sim_.scheduleIn(inflight_.cost, [this, gen] {
+        if (gen != generation_)
+            return; // cleared (node crashed) while in flight
+        busyTime_ += inflight_.cost;
+        running_ = false;
+        // Move out before invoking: the completion may call exec(),
+        // which starts the next item and overwrites inflight_.
+        sim::SmallFn done = std::move(inflight_.done);
+        done();
+        maybeStart();
+    });
 }
 
 } // namespace performa::osim

@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "sim/simulation.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace performa::osim {
@@ -35,9 +35,10 @@ class Cpu
 
     /**
      * Queue a work item costing @p cost microseconds; @p done runs
-     * when the item retires.
+     * when the item retires. Small completions (the common `this` +
+     * id captures) are stored inline, allocation-free.
      */
-    void exec(sim::Tick cost, std::function<void()> done);
+    void exec(sim::Tick cost, sim::SmallFn done);
 
     /**
      * Suspend processing. Pauses nest (a node freeze on top of a
@@ -63,7 +64,7 @@ class Cpu
     struct Item
     {
         sim::Tick cost;
-        std::function<void()> done;
+        sim::SmallFn done;
     };
 
     /** Start the next item if the lane is free. */
@@ -71,6 +72,8 @@ class Cpu
 
     sim::Simulation &sim_;
     std::deque<Item> queue_;
+    Item inflight_{}; ///< item being executed; keeps the completion
+                      ///< event's capture down to {this, generation}
     bool running_ = false;
     int pauseCount_ = 0;
     std::uint64_t generation_ = 0; ///< invalidates in-flight completions

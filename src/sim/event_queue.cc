@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -9,7 +10,7 @@ namespace performa::sim {
 bool
 EventHandle::pending() const
 {
-    return state_ && !state_->cancelled && !state_->fired;
+    return queue_ && queue_->records_[slot_].gen == gen_;
 }
 
 EventHandle
@@ -17,9 +18,20 @@ EventQueue::schedule(Tick when, Handler fn)
 {
     if (when < now_)
         PANIC("scheduling event in the past: ", when, " < ", now_);
-    auto state = std::make_shared<EventHandle::State>();
-    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
-    return EventHandle(std::move(state));
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(records_.size());
+        records_.emplace_back();
+    }
+    Record &r = records_[slot];
+    r.fn = std::move(fn);
+    heap_.push_back(HeapEntry{when, nextSeq_++, slot, r.gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return EventHandle(this, slot, r.gen);
 }
 
 EventHandle
@@ -31,46 +43,90 @@ EventQueue::scheduleIn(Tick delay, Handler fn)
 void
 EventQueue::cancel(EventHandle &h)
 {
-    if (h.state_)
-        h.state_->cancelled = true;
-    h.state_.reset();
+    if (h.queue_ == this && records_[h.slot_].gen == h.gen_) {
+        Record &r = records_[h.slot_];
+        // Bumping the generation invalidates the heap entry and every
+        // outstanding copy of the handle in one step; the slot is
+        // immediately reusable.
+        ++r.gen;
+        r.fn.reset(); // release captured state eagerly
+        freeSlots_.push_back(h.slot_);
+        --live_;
+        maybeCompact();
+    }
+    h = EventHandle();
 }
 
 void
-EventQueue::execute(Entry &&e)
+EventQueue::pruneStaleHead()
 {
+    while (!heap_.empty() && !live(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+    }
+}
+
+EventQueue::HeapEntry
+EventQueue::popHead()
+{
+    HeapEntry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    return e;
+}
+
+void
+EventQueue::fire(const HeapEntry &e)
+{
+    Record &r = records_[e.slot];
     now_ = e.when;
-    e.state->fired = true;
+    ++r.gen; // handles to this event are stale from here on
+    Handler fn = std::move(r.fn);
+    freeSlots_.push_back(e.slot);
+    --live_;
     ++executed_;
-    // Move the handler out before invoking: the handler may schedule
-    // more events, growing the heap and invalidating references.
-    Handler fn = std::move(e.fn);
+    // Invoke only after retiring the slot: the handler may schedule
+    // more events, growing the slab and the heap.
     fn();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Lazy deletion keeps cancel O(1), but a cancel-heavy run (TCP
+    // timers, request expiries) would otherwise carry dead entries
+    // until their original due time. Rebuild once they outnumber the
+    // live ones; the (when, seq) key survives the rebuild, so FIFO
+    // tie-break order — and thus determinism — is unaffected.
+    std::size_t stale = heap_.size() - live_;
+    if (heap_.size() < 64 || stale * 2 <= heap_.size())
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const HeapEntry &e) {
+                                   return !live(e);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!heap_.empty()) {
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        if (e.state->cancelled)
-            continue;
-        execute(std::move(e));
-        return true;
-    }
-    return false;
+    pruneStaleHead();
+    if (heap_.empty())
+        return false;
+    fire(popHead());
+    return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        if (e.state->cancelled)
-            continue;
-        execute(std::move(e));
+    for (;;) {
+        pruneStaleHead();
+        if (heap_.empty() || heap_.front().when > limit)
+            break;
+        fire(popHead());
     }
     if (now_ < limit)
         now_ = limit;
@@ -79,9 +135,14 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::runAll(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        if (!runOne())
+    // Prune before the limit check: a cancelled head must not let an
+    // event scheduled after @p limit execute (historical overshoot
+    // bug — runOne() skips cancelled entries unconditionally).
+    for (;;) {
+        pruneStaleHead();
+        if (heap_.empty() || heap_.front().when > limit)
             break;
+        fire(popHead());
     }
 }
 

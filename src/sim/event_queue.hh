@@ -6,23 +6,44 @@
  * clients, fault injector) expresses its behaviour as events scheduled
  * on a single EventQueue. Events at the same tick execute in schedule
  * order, which makes runs fully deterministic for a given seed.
+ *
+ * Hot-path design: event state lives in a slab of reusable records
+ * addressed by {slot, generation} handles, and the heap holds only
+ * plain 24-byte {when, seq, slot, gen} entries. Scheduling a handler
+ * whose captures fit SmallFn's inline buffer performs no allocation
+ * once the slab has warmed up, and cancellation is a generation bump —
+ * O(1), allocation-free. Cancelled entries are deleted lazily: they
+ * are dropped when they reach the top of the heap, and when they ever
+ * outnumber live entries the heap is compacted in one pass, so the
+ * heap stays bounded at < 2x the number of live events even under
+ * cancel-heavy workloads (TCP retransmit timers, request expiries).
  */
 
 #ifndef PERFORMA_SIM_EVENT_QUEUE_HH
 #define PERFORMA_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace performa::sim {
 
+class EventQueue;
+
 /**
  * Handle to a scheduled event, usable to cancel it before it fires.
+ *
+ * A handle is a trivially-copyable {queue, slot, generation} triple
+ * into the queue's record slab; it owns nothing. The generation check
+ * makes stale handles safe: once the event fires or is cancelled the
+ * record's generation is bumped, so every outstanding copy of the
+ * handle reports !pending() and cancels as a no-op, even after the
+ * slot has been reused for a newer event (no ABA). Handles must not
+ * outlive their EventQueue.
+ *
  * Default-constructed handles refer to no event and are safe to cancel.
  */
 class EventHandle
@@ -36,15 +57,13 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        bool cancelled = false;
-        bool fired = false;
-    };
+    EventHandle(EventQueue *q, std::uint32_t slot, std::uint32_t gen)
+        : queue_(q), slot_(slot), gen_(gen)
+    {}
 
-    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-
-    std::shared_ptr<State> state_;
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -56,7 +75,7 @@ class EventHandle
 class EventQueue
 {
   public:
-    using Handler = std::function<void()>;
+    using Handler = SmallFn;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -75,14 +94,14 @@ class EventQueue
     EventHandle scheduleIn(Tick delay, Handler fn);
 
     /**
-     * Cancel a previously scheduled event. Cancelling an already-fired
-     * or empty handle is a harmless no-op.
+     * Cancel a previously scheduled event and clear @p h. Cancelling
+     * an already-fired or empty handle is a harmless no-op.
      */
     void cancel(EventHandle &h);
 
     /**
      * Run the single next event, advancing time to it.
-     * @return false if the queue was empty.
+     * @return false if no live event remains.
      */
     bool runOne();
 
@@ -92,28 +111,48 @@ class EventQueue
      */
     void runUntil(Tick limit);
 
-    /** Run until the queue drains or @p limit is passed. */
+    /**
+     * Run until no live event at or before @p limit remains. Unlike
+     * runUntil, the clock is left at the last executed event. Never
+     * executes an event scheduled after @p limit.
+     */
     void runAll(Tick limit = maxTick);
 
-    /** @return number of events still scheduled (including cancelled). */
-    std::size_t pending() const { return heap_.size(); }
+    /** @return number of live (not cancelled, not yet fired) events. */
+    std::size_t pending() const { return live_; }
+
+    /**
+     * @return heap entries held: live events plus lazily-deleted
+     * cancelled ones awaiting compaction (introspection/benchmarks).
+     */
+    std::size_t heapSize() const { return heap_.size(); }
 
     /** @return total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry
+    friend class EventHandle;
+
+    /** Slab cell: handler storage plus the slot's current generation. */
+    struct Record
+    {
+        Handler fn;
+        std::uint32_t gen = 0;
+    };
+
+    /** Heap entry: plain data; the callable stays in the slab. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        Handler fn;
-        std::shared_ptr<EventHandle::State> state;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -121,13 +160,32 @@ class EventQueue
         }
     };
 
-    /** Pop and execute the head entry (must exist, not cancelled). */
-    void execute(Entry &&e);
+    /** @return true if @p e still refers to a live (uncancelled) event. */
+    bool
+    live(const HeapEntry &e) const
+    {
+        return records_[e.slot].gen == e.gen;
+    }
+
+    /** Drop cancelled entries from the top of the heap. */
+    void pruneStaleHead();
+
+    /** Pop the head entry off the heap (must exist). */
+    HeapEntry popHead();
+
+    /** Execute @p e: advance time, retire the slot, invoke the handler. */
+    void fire(const HeapEntry &e);
+
+    /** Rebuild the heap without cancelled entries when they dominate. */
+    void maybeCompact();
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::size_t live_ = 0;
+    std::vector<Record> records_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<HeapEntry> heap_;
 };
 
 } // namespace performa::sim

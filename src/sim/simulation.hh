@@ -20,7 +20,9 @@ namespace performa::sim {
  * Owns the event queue and RNG for one simulated world.
  *
  * Components take a Simulation& at construction and use it to schedule
- * events and draw randomness. The Simulation outlives all components.
+ * events and draw randomness. The Simulation outlives all components;
+ * this is load-bearing for EventHandle, which indexes into the event
+ * queue's record slab and must not outlive the queue.
  */
 class Simulation
 {

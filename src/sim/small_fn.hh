@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SmallFn: a move-only callable holder with small-buffer optimization,
+ * used by the event engine for handler storage. The common event
+ * handler in this tree — a lambda capturing `this` plus an id or two —
+ * fits in the inline buffer and never touches the allocator; only
+ * oversized or over-aligned captures fall back to the heap.
+ */
+
+#ifndef PERFORMA_SIM_SMALL_FN_HH
+#define PERFORMA_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace performa::sim {
+
+/**
+ * A type-erased `void()` callable. Move-only (captures need not be
+ * copyable), empty after being moved from, and invocable only while
+ * non-empty.
+ */
+class SmallFn
+{
+  public:
+    /**
+     * Inline storage size. 56 bytes covers every handler in the tree
+     * today (largest: the epoch-guard lambda in press/server.cc at 48
+     * bytes) and keeps sizeof(SmallFn) at one cache line.
+     */
+    static constexpr std::size_t inlineBytes = 56;
+
+    SmallFn() = default;
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                          std::is_invocable_r_v<void, D &>>>
+    SmallFn(F &&f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            D *p = new D(std::forward<F>(f));
+            std::memcpy(buf_, &p, sizeof p);
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    SmallFn(SmallFn &&o) noexcept { moveFrom(o); }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** Destroy the held callable, leaving the holder empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** @return true if a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the held callable (must be non-empty). */
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move the callable from src into raw dst, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    /**
+     * Inline storage additionally requires a nothrow move constructor
+     * so relocation (slab growth, heap sifts) cannot throw.
+     */
+    template <typename D>
+    static constexpr bool fitsInline =
+        sizeof(D) <= inlineBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D>
+    struct InlineImpl
+    {
+        static void invoke(void *b) { (*static_cast<D *>(b))(); }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            D *s = static_cast<D *>(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        }
+
+        static void destroy(void *b) noexcept { static_cast<D *>(b)->~D(); }
+    };
+
+    template <typename D>
+    struct HeapImpl
+    {
+        static D *
+        get(void *b)
+        {
+            D *p;
+            std::memcpy(&p, b, sizeof p);
+            return p;
+        }
+
+        static void invoke(void *b) { (*get(b))(); }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            std::memcpy(dst, src, sizeof(D *));
+        }
+
+        static void destroy(void *b) noexcept { delete get(b); }
+    };
+
+    template <typename D>
+    static constexpr Ops inlineOps = {&InlineImpl<D>::invoke,
+                                      &InlineImpl<D>::relocate,
+                                      &InlineImpl<D>::destroy};
+
+    template <typename D>
+    static constexpr Ops heapOps = {&HeapImpl<D>::invoke,
+                                    &HeapImpl<D>::relocate,
+                                    &HeapImpl<D>::destroy};
+
+    void
+    moveFrom(SmallFn &o) noexcept
+    {
+        if (o.ops_) {
+            o.ops_->relocate(buf_, o.buf_);
+            ops_ = o.ops_;
+            o.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte buf_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_SMALL_FN_HH

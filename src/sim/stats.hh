@@ -35,8 +35,25 @@ class OnlineStats
 
     std::uint64_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
-    double min() const { return n_ ? min_ : 0.0; }
-    double max() const { return n_ ? max_ : 0.0; }
+
+    /**
+     * @return the smallest sample, or NaN if no samples were added.
+     * NaN (not 0.0) so an empty window is distinguishable from a real
+     * zero-latency sample in summaries; check count() or std::isnan
+     * before printing.
+     */
+    double
+    min() const
+    {
+        return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    /** @return the largest sample, or NaN if no samples were added. */
+    double
+    max() const
+    {
+        return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+    }
 
     double
     variance() const

@@ -41,6 +41,14 @@ ClosedLoopFarm::stop()
 {
     running_ = false;
     ++generation_;
+    // In-flight requests are abandoned, not silently dropped: cancel
+    // their expiry timers (they would otherwise fire into a cleared
+    // map) and account for them so served + failed + abandoned sums
+    // to the requests issued.
+    for (auto &[id, p] : pending_) {
+        sim_.events().cancel(p.expiry);
+        ++totalAbandoned_;
+    }
     pending_.clear();
 }
 
@@ -65,7 +73,9 @@ ClosedLoopFarm::issue(std::size_t user)
     rrServer_ = (rrServer_ + 1) % serverPorts_.size();
     net::PortId client = clientPorts_[user % clientPorts_.size()];
 
-    pending_[id] = Pending{user, sim_.now()};
+    Pending &p = pending_[id];
+    p.user = user;
+    p.sentAt = sim_.now();
 
     auto body = std::make_shared<press::ClientRequestBody>();
     body->req = id;
@@ -81,7 +91,8 @@ ClosedLoopFarm::issue(std::size_t user)
     f.payload = std::move(body);
     net_.send(std::move(f));
 
-    sim_.scheduleIn(cfg_.requestTimeout, [this, id] { expire(id); });
+    p.expiry = sim_.scheduleIn(cfg_.requestTimeout,
+                               [this, id] { expire(id); });
 }
 
 void
@@ -96,6 +107,9 @@ ClosedLoopFarm::onResponse(net::Frame &&f)
         return;
     std::size_t user = it->second.user;
     latency_.add(static_cast<double>(sim_.now() - it->second.sentAt));
+    // Cancel the expiry timer instead of leaving a dead heap entry
+    // per served request to linger until its due time.
+    sim_.events().cancel(it->second.expiry);
     pending_.erase(it);
     ++totalServed_;
     served_.record(sim_.now());

@@ -49,12 +49,27 @@ class ClosedLoopFarm
                    ClosedLoopConfig cfg);
 
     void start();
+
+    /**
+     * Stop issuing requests. Requests still in flight are abandoned:
+     * their expiry timers are cancelled and they are counted in
+     * totalAbandoned(), so issued == served + failed + abandoned
+     * holds after a mid-flight stop.
+     */
     void stop();
 
     const sim::TimeSeries &served() const { return served_; }
     const sim::TimeSeries &failed() const { return failed_; }
     std::uint64_t totalServed() const { return totalServed_; }
     std::uint64_t totalFailed() const { return totalFailed_; }
+    std::uint64_t totalAbandoned() const { return totalAbandoned_; }
+
+    /** @return number of requests issued so far (served, failed,
+     * abandoned, or still in flight). */
+    std::uint64_t totalIssued() const { return nextReq_ - 1; }
+
+    /** @return number of requests currently in flight. */
+    std::size_t inFlight() const { return pending_.size(); }
     const sim::OnlineStats &latency() const { return latency_; }
     const ClosedLoopConfig &config() const { return cfg_; }
 
@@ -80,6 +95,7 @@ class ClosedLoopFarm
     {
         std::size_t user;
         sim::Tick sentAt;
+        sim::EventHandle expiry;
     };
     std::unordered_map<sim::RequestId, Pending> pending_;
 
@@ -88,6 +104,7 @@ class ClosedLoopFarm
     sim::OnlineStats latency_;
     std::uint64_t totalServed_ = 0;
     std::uint64_t totalFailed_ = 0;
+    std::uint64_t totalAbandoned_ = 0;
 };
 
 } // namespace performa::wl

@@ -125,6 +125,71 @@ TEST(ClosedLoop, StopCeasesActivity)
     EXPECT_EQ(farm.totalServed(), served);
 }
 
+TEST(ClosedLoop, ServedRequestsDoNotLeakExpiryTimers)
+{
+    // Regression: issue() armed a 6 s expiry per request and never
+    // cancelled it on response, leaving one dead heap entry per served
+    // request in the event queue for the rest of the run.
+    FarmWorld w;
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 50;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(5));
+    ASSERT_GT(farm.totalServed(), 10000u);
+    // Live events: one think or expiry timer per user plus a handful
+    // of in-flight frames — nothing proportional to requests served.
+    EXPECT_LT(w.s.events().pending(), cfg.users * 3);
+    // And the heap itself must be bounded too (cancelled entries are
+    // compacted away, not carried until their 6 s due time).
+    EXPECT_LT(w.s.events().heapSize(), cfg.users * 6);
+}
+
+TEST(ClosedLoop, StopMidFlightCountsAbandonedRequests)
+{
+    // Regression: stop() cleared pending_ silently, so requests in
+    // flight at stop time were neither served nor failed and the
+    // accounting no longer summed to the requests issued.
+    FarmWorld w;
+    w.serviceDelay = msec(50); // long enough to guarantee in-flight
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 20;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(msec(500) + msec(25)); // mid service window
+    ASSERT_GT(farm.inFlight(), 0u);
+    farm.stop();
+    EXPECT_EQ(farm.inFlight(), 0u);
+    EXPECT_GT(farm.totalAbandoned(), 0u);
+    EXPECT_EQ(farm.totalIssued(), farm.totalServed() +
+                                      farm.totalFailed() +
+                                      farm.totalAbandoned());
+    // Abandoned expiry timers were cancelled: letting the clock run
+    // past the timeout window must not record late failures.
+    std::uint64_t failed = farm.totalFailed();
+    w.s.runUntil(sec(30));
+    EXPECT_EQ(farm.totalFailed(), failed);
+}
+
+TEST(ClosedLoop, AccountingSumsWhileRunning)
+{
+    FarmWorld w;
+    wl::ClosedLoopConfig cfg;
+    cfg.users = 30;
+    cfg.meanThinkTime = msec(10);
+    cfg.numFiles = 100;
+    wl::ClosedLoopFarm farm(w.s, w.n, w.servers, w.clients, cfg);
+    farm.start();
+    w.s.runUntil(sec(3));
+    EXPECT_EQ(farm.totalIssued(),
+              farm.totalServed() + farm.totalFailed() +
+                  farm.totalAbandoned() + farm.inFlight());
+}
+
 TEST(ClosedLoop, LatencyReflectsServiceDelay)
 {
     FarmWorld w;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <random>
 #include <vector>
 
@@ -140,6 +142,193 @@ TEST(EventQueue, ExecutedCounterCountsOnlyFired)
     q.cancel(h);
     q.runAll();
     EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, PendingCountsOnlyLiveEvents)
+{
+    EventQueue q;
+    EventHandle a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.schedule(30, [] {});
+    EXPECT_EQ(q.pending(), 3u);
+    q.cancel(a);
+    // Quiescence checks must not see the cancelled entry.
+    EXPECT_EQ(q.pending(), 2u);
+    q.runAll();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, RunAllLimitNotOvershotByCancelledHead)
+{
+    // Regression: runAll(limit) used to check the head's time and then
+    // delegate to runOne(), which skips cancelled entries and executes
+    // the next live event even if it lies beyond the limit.
+    EventQueue q;
+    bool late_ran = false;
+    EventHandle head = q.schedule(10, [] {});
+    q.schedule(100, [&] { late_ran = true; });
+    q.cancel(head);
+    q.runAll(50);
+    EXPECT_FALSE(late_ran);
+    EXPECT_LE(q.now(), 50u);
+    q.runAll();
+    EXPECT_TRUE(late_ran);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilLimitNotOvershotByCancelledHead)
+{
+    EventQueue q;
+    bool late_ran = false;
+    EventHandle head = q.schedule(10, [] {});
+    q.schedule(100, [&] { late_ran = true; });
+    q.cancel(head);
+    q.runUntil(50);
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunAllBoundaryIncludesEventsAtLimit)
+{
+    EventQueue q;
+    int runs = 0;
+    q.schedule(50, [&] { ++runs; });
+    q.schedule(51, [&] { ++runs; });
+    q.runAll(50);
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsInert)
+{
+    // ABA guard: cancelling frees the slot, which the next schedule
+    // reuses; the generation bump must keep every old handle stale.
+    EventQueue q;
+    bool a_ran = false, b_ran = false;
+    EventHandle a = q.schedule(10, [&] { a_ran = true; });
+    EventHandle stale = a; // copy survives the cancel below
+    q.cancel(a);
+    EventHandle b = q.schedule(20, [&] { b_ran = true; });
+    EXPECT_FALSE(stale.pending());
+    EXPECT_TRUE(b.pending());
+    q.cancel(stale); // must not cancel b's reused slot
+    q.runAll();
+    EXPECT_FALSE(a_ran);
+    EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueue, HandleCopiesAllGoStaleOnCancel)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(10, [&] { ran = true; });
+    EventHandle copy = h;
+    q.cancel(h);
+    EXPECT_FALSE(copy.pending());
+    q.cancel(copy);
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, HandleGoesStaleAfterFire)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    // The slot is reused after the event fires; the old handle must
+    // not cancel the newcomer.
+    q.runAll();
+    bool ran = false;
+    EventHandle fresh = q.schedule(20, [&] { ran = true; });
+    q.cancel(h);
+    EXPECT_TRUE(fresh.pending());
+    q.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancellationOrderPreservesFifoOfSurvivors)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 64; ++i)
+        handles.push_back(
+            q.schedule(5, [&order, i] { order.push_back(i); }));
+    // Cancel the even ones in scattered order.
+    for (int i = 62; i >= 0; i -= 2)
+        q.cancel(handles[static_cast<std::size_t>(i)]);
+    q.runAll();
+    ASSERT_EQ(order.size(), 32u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+}
+
+TEST(EventQueue, CompactionBoundsHeapUnderCancelChurn)
+{
+    // Arm-and-cancel churn (the TCP RTO pattern) must not accumulate
+    // dead entries until their distant due times: compaction keeps the
+    // heap within a small constant of the live count.
+    EventQueue q;
+    bool sentinel_ran = false;
+    q.schedule(2'000'000, [&] { sentinel_ran = true; });
+    std::size_t peak = 0;
+    for (int i = 0; i < 10000; ++i) {
+        EventHandle h = q.scheduleIn(1'000'000, [] {});
+        q.cancel(h);
+        peak = std::max(peak, q.heapSize());
+    }
+    EXPECT_LT(peak, 128u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_TRUE(sentinel_ran);
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, CompactionPreservesFifoOrder)
+{
+    // Trigger compaction mid-stream and verify the survivors still
+    // fire in schedule order (the (when, seq) key must survive the
+    // heap rebuild, or determinism breaks).
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> doomed;
+    for (int i = 0; i < 200; ++i) {
+        q.schedule(7, [&order, i] { order.push_back(i); });
+        doomed.push_back(q.schedule(9, [] {}));
+    }
+    for (EventHandle &h : doomed)
+        q.cancel(h);
+    q.runAll();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelFromWithinHandlerIsSafe)
+{
+    EventQueue q;
+    bool victim_ran = false;
+    EventHandle victim;
+    q.schedule(10, [&] { q.cancel(victim); });
+    victim = q.schedule(20, [&] { victim_ran = true; });
+    q.schedule(30, [] {});
+    q.runAll();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_EQ(q.now(), 30u);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, LargeCaptureHandlersStillWork)
+{
+    // Captures beyond SmallFn's inline buffer take the heap fallback;
+    // behaviour must be identical.
+    EventQueue q;
+    std::array<std::uint64_t, 16> big{};
+    big[15] = 42;
+    std::uint64_t seen = 0;
+    q.schedule(5, [big, &seen] { seen = big[15]; });
+    q.runAll();
+    EXPECT_EQ(seen, 42u);
 }
 
 TEST(EventQueueDeath, SchedulingInThePastPanics)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/stats.hh"
 #include "sim/time_series.hh"
 
@@ -87,6 +89,22 @@ TEST(OnlineStats, Reset)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStats, EmptyMinMaxIsNaN)
+{
+    // Regression: an empty accumulator used to report min()/max() of
+    // 0.0, indistinguishable from a real zero-latency sample. NaN
+    // makes empty windows explicit.
+    OnlineStats s;
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(TickHelpers, UnitConversions)

@@ -44,6 +44,8 @@ usage(const char *argv0)
         "  --scale LIST   comma-separated offered-load scales\n"
         "                 (default 1.0)\n"
         "  --fresh        re-measure everything, ignore cached rows\n"
+        "  --net-stats    print per-port NIC counters (traffic and\n"
+        "                 drops by cause) for each measured point\n"
         "  --list         print the grid and per-job seeds, then exit\n"
         "  --quiet        suppress per-job progress\n"
         "  --help         this text\n",
@@ -111,7 +113,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     std::vector<std::uint32_t> nodeAxis = {4};
     std::vector<double> scaleAxis = {1.0};
-    bool fresh = false, quiet = false, list = false;
+    bool fresh = false, quiet = false, list = false, netStats = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -140,6 +142,8 @@ main(int argc, char **argv)
                 scaleAxis.push_back(std::strtod(tok.c_str(), nullptr));
         } else if (arg == "--fresh") {
             fresh = true;
+        } else if (arg == "--net-stats") {
+            netStats = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -191,6 +195,41 @@ main(int argc, char **argv)
                         std::size(press::allVersions) *
                             std::size(fault::allFaultKinds),
                         n, x, effective, path.c_str());
+            if (netStats) {
+                opts.netStats = [](press::Version v, fault::FaultKind k,
+                                   const std::vector<net::PortStats>
+                                       &ports) {
+                    std::printf("net-stats %s x %s:\n",
+                                press::versionName(v),
+                                fault::faultName(k));
+                    for (std::size_t p = 0; p < ports.size(); ++p) {
+                        const net::PortStats &st = ports[p];
+                        std::printf(
+                            "  port %zu: sent %llu (%llu B) "
+                            "rcvd %llu (%llu B) drops %llu "
+                            "[port-down %llu link-down %llu "
+                            "switch-down %llu in-flight %llu]\n",
+                            p,
+                            static_cast<unsigned long long>(
+                                st.framesSent),
+                            static_cast<unsigned long long>(
+                                st.bytesSent),
+                            static_cast<unsigned long long>(
+                                st.framesReceived),
+                            static_cast<unsigned long long>(
+                                st.bytesReceived),
+                            static_cast<unsigned long long>(st.drops()),
+                            static_cast<unsigned long long>(
+                                st.dropPortDown),
+                            static_cast<unsigned long long>(
+                                st.dropLinkDown),
+                            static_cast<unsigned long long>(
+                                st.dropSwitchDown),
+                            static_cast<unsigned long long>(
+                                st.dropDiedInFlight));
+                    }
+                };
+            }
             if (!quiet) {
                 opts.progress = [](const campaign::Progress &p) {
                     std::printf("  [%2zu/%2zu] %-7s %-32s %6.1fs"

@@ -80,12 +80,26 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
     // the (ordered) BehaviorDb happens after the barrier, in key
     // order, so the database never depends on completion order.
     std::vector<model::MeasuredBehavior> slots(todo.size());
-    auto measure = opts.measureFn;
-    if (!measure)
-        measure = [](const exp::ExperimentConfig &cfg) {
+    bool collect_stats = opts.netStats && !opts.measureFn;
+    std::vector<std::vector<net::PortStats>> statSlots(
+        collect_stats ? todo.size() : 0);
+
+    std::function<model::MeasuredBehavior(std::size_t,
+                                          const exp::ExperimentConfig &)>
+        measure;
+    if (opts.measureFn) {
+        measure = [&opts](std::size_t, const exp::ExperimentConfig &cfg) {
+            return opts.measureFn(cfg);
+        };
+    } else {
+        measure = [&statSlots, collect_stats](
+                      std::size_t i, const exp::ExperimentConfig &cfg) {
             exp::ExperimentResult res = exp::runExperiment(cfg);
+            if (collect_stats)
+                statSlots[i] = std::move(res.intraPortStats);
             return exp::extractBehavior(res, *cfg.fault);
         };
+    }
 
     std::vector<Job> jobs;
     jobs.reserve(todo.size());
@@ -98,7 +112,7 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
         job.seed = cfg.seed;
         job.tag = phase1Tag(v, k);
         job.work = [&slots, i, cfg, &measure](const Job &) {
-            slots[i] = measure(cfg);
+            slots[i] = measure(i, cfg);
         };
         jobs.push_back(std::move(job));
     }
@@ -118,6 +132,14 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
         }
     }
     result.wallSeconds = report.wallSeconds;
+
+    if (collect_stats) {
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+            if (report.jobs[i].ok)
+                opts.netStats(todo[i].first, todo[i].second,
+                              statSlots[i]);
+        }
+    }
 
     if (result.measured > 0 && !cache_path.empty())
         db.save(cache_path);

@@ -21,6 +21,7 @@
 
 #include "campaign/runner.hh"
 #include "exp/behavior_db.hh"
+#include "net/network.hh"
 
 namespace performa::campaign {
 
@@ -55,6 +56,16 @@ struct Phase1Options
 
     /** Streamed per-job progress (serialized; completion order). */
     ProgressFn progress;
+
+    /**
+     * Optional NIC-counter sink: after the campaign barrier, called
+     * once per freshly measured grid point (in grid order) with the
+     * experiment's end-of-run intra-cluster port stats. Ignored when
+     * measureFn is overridden (the override produces no stats).
+     */
+    std::function<void(press::Version, fault::FaultKind,
+                       const std::vector<net::PortStats> &)>
+        netStats;
 
     /**
      * Experiment-runner override, for tests: maps a fully-built

@@ -136,6 +136,11 @@ runExperiment(const ExperimentConfig &cfg)
         res.finalMembers.push_back(cluster.server(i).members().size());
     res.endSplintered = cluster.splintered();
 
+    net::Network &intra = cluster.intraNet();
+    for (std::size_t p = 0; p < intra.numPorts(); ++p)
+        res.intraPortStats.push_back(
+            intra.portStats(static_cast<net::PortId>(p)));
+
     return res;
 }
 

@@ -14,6 +14,7 @@
 
 #include "exp/markers.hh"
 #include "faults/fault.hh"
+#include "net/network.hh"
 #include "press/cluster.hh"
 #include "sim/time_series.hh"
 #include "workload/client_farm.hh"
@@ -56,6 +57,11 @@ struct ExperimentResult
     bool endSplintered = false;
     sim::Tick runLength = 0;
     sim::Tick injectAt = 0;
+    /**
+     * End-of-run NIC counters for each intra-cluster port (indexed by
+     * PortId == node index): traffic totals plus drops by cause.
+     */
+    std::vector<net::PortStats> intraPortStats;
 
     /** Mean served rate over [from, to). */
     double

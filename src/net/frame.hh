@@ -9,8 +9,8 @@
 #define PERFORMA_NET_FRAME_HH
 
 #include <cstdint>
-#include <memory>
 
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace performa::net {
@@ -25,9 +25,11 @@ enum class Proto : std::uint8_t
 };
 
 /**
- * One frame in flight. @c payload is a type-erased handle to whatever
- * the sending stack attached (an application message, a descriptor,
- * ...); the receiving stack knows the concrete type from @c kind.
+ * One frame in flight. @c payload is a type-erased pooled handle to
+ * whatever the sending stack attached (an application message, a
+ * descriptor, ...); the receiving stack knows the concrete type from
+ * @c kind. Copying/retransmitting a frame only bumps the payload
+ * refcount — payload blocks live in the Simulation's PayloadPool.
  */
 struct Frame
 {
@@ -39,7 +41,7 @@ struct Frame
     std::uint64_t bytes = 0;    ///< wire size, drives serialization
     std::uint64_t seq = 0;      ///< stack-private sequence number
     bool corrupted = false;     ///< payload bytes are garbage
-    std::shared_ptr<void> payload; ///< type-erased content
+    sim::RcAny payload;         ///< type-erased pooled content
 };
 
 } // namespace performa::net

@@ -51,6 +51,18 @@ Network::txTime(std::uint64_t bytes) const
     return t == 0 ? 1 : t;
 }
 
+std::uint32_t
+Network::acquireSlot()
+{
+    if (freeHead_ != noSlot) {
+        std::uint32_t slot = freeHead_;
+        freeHead_ = inflight_[slot].next;
+        return slot;
+    }
+    inflight_.emplace_back();
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
 void
 Network::send(Frame &&frame, Outcome outcome)
 {
@@ -63,16 +75,31 @@ Network::send(Frame &&frame, Outcome outcome)
 
     if (!path_ok) {
         ++dropped_;
+        // Charge the sender's NIC with the first down component,
+        // checking hosts before links before the switch.
+        if (!src.up || !dst.up)
+            ++src.stats.dropPortDown;
+        else if (!src.linkUp || !dst.linkUp)
+            ++src.stats.dropLinkDown;
+        else
+            ++src.stats.dropSwitchDown;
         if (outcome) {
             // Hardware-ack timeout: the sender-side NIC learns of the
-            // loss after a short round-trip-scale delay.
+            // loss after a short round-trip-scale delay. Park only the
+            // callback; the event captures {this, slot}.
             sim::Tick when = now + 2 * cfg_.linkLatency +
                              cfg_.switchLatency + sim::usec(20);
-            sim_.schedule(when,
-                          [cb = std::move(outcome)] { cb(false); });
+            std::uint32_t slot = acquireSlot();
+            InFlight &rec = inflight_[slot];
+            rec.outcome = std::move(outcome);
+            rec.deliver = false;
+            sim_.schedule(when, [this, slot] { fireInFlight(slot); });
         }
         return;
     }
+
+    src.stats.framesSent++;
+    src.stats.bytesSent += frame.bytes;
 
     // Uplink serialization, store-and-forward, downlink serialization.
     sim::Tick ser = txTime(frame.bytes);
@@ -85,25 +112,49 @@ Network::send(Frame &&frame, Outcome outcome)
     sim::Tick rx_done = rx_start + ser + cfg_.linkLatency;
     dst.rxBusyUntil = rx_done;
 
-    PortId dst_port = frame.dstPort;
-    sim_.schedule(rx_done,
-        [this, dst_port, f = std::move(frame),
-         cb = std::move(outcome)]() mutable {
-            Port &d = ports_.at(dst_port);
-            // Re-check the receiving side: components that died while
-            // the frame was in flight still cause a loss.
-            if (!d.up || !d.linkUp || !switchUp_) {
-                ++dropped_;
-                if (cb)
-                    cb(false);
-                return;
-            }
-            ++delivered_;
-            if (d.handler)
-                d.handler(std::move(f));
-            if (cb)
-                cb(true);
-        });
+    std::uint32_t slot = acquireSlot();
+    InFlight &rec = inflight_[slot];
+    rec.frame = std::move(frame);
+    rec.outcome = std::move(outcome);
+    rec.deliver = true;
+    sim_.schedule(rx_done, [this, slot] { fireInFlight(slot); });
+}
+
+void
+Network::fireInFlight(std::uint32_t slot)
+{
+    // Move the record's contents out and release the slot *first*: the
+    // handler below may send more frames, which can grow inflight_ and
+    // invalidate the reference (and should be able to reuse the slot).
+    Frame f = std::move(inflight_[slot].frame);
+    Outcome cb = std::move(inflight_[slot].outcome);
+    bool deliver = inflight_[slot].deliver;
+    inflight_[slot].next = freeHead_;
+    freeHead_ = slot;
+
+    if (!deliver) {
+        // Parked hardware-ack drop notification.
+        cb(false);
+        return;
+    }
+
+    Port &d = ports_.at(f.dstPort);
+    // Re-check the receiving side: components that died while the
+    // frame was in flight still cause a loss.
+    if (!d.up || !d.linkUp || !switchUp_) {
+        ++dropped_;
+        ++ports_.at(f.srcPort).stats.dropDiedInFlight;
+        if (cb)
+            cb(false);
+        return;
+    }
+    ++delivered_;
+    d.stats.framesReceived++;
+    d.stats.bytesReceived += f.bytes;
+    if (d.handler)
+        d.handler(std::move(f));
+    if (cb)
+        cb(true);
 }
 
 } // namespace performa::net

@@ -12,6 +12,13 @@
  * for SAN-style fabrics. Stacks that should not get free drop
  * information (TCP) simply ignore the callback and run their own
  * timers.
+ *
+ * Hot-path design (§2.2 of DESIGN.md): an accepted frame is parked in
+ * a slab of reusable in-flight records and the delivery event
+ * captures only {network, slot} — a 16-byte POD that always fits
+ * SmallFn's inline buffer, so a frame hop performs no allocation once
+ * the slab has warmed up (the same trick osim::Cpu uses for its
+ * completion events).
  */
 
 #ifndef PERFORMA_NET_NETWORK_HH
@@ -39,6 +46,32 @@ struct NetworkConfig
     sim::Tick linkLatency = sim::usec(3);   ///< per-link propagation
     sim::Tick switchLatency = sim::usec(1); ///< store-and-forward cost
     double bytesPerUsec = 125.0;            ///< link bandwidth
+};
+
+/**
+ * Per-port NIC counters. Sent/received count the port's own traffic;
+ * the drop counters are charged to the *sending* port (the NIC that
+ * failed to get its frame through), broken down by the first down
+ * component on the path at transmission time, plus frames that met a
+ * component which died while they were in flight.
+ */
+struct PortStats
+{
+    std::uint64_t framesSent = 0;     ///< frames accepted onto the wire
+    std::uint64_t bytesSent = 0;
+    std::uint64_t framesReceived = 0; ///< frames delivered to the handler
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t dropPortDown = 0;   ///< an endpoint host was down
+    std::uint64_t dropLinkDown = 0;   ///< a link to the switch was cut
+    std::uint64_t dropSwitchDown = 0; ///< the central switch was down
+    std::uint64_t dropDiedInFlight = 0; ///< path died during flight
+
+    std::uint64_t
+    drops() const
+    {
+        return dropPortDown + dropLinkDown + dropSwitchDown +
+               dropDiedInFlight;
+    }
 };
 
 /**
@@ -90,6 +123,15 @@ class Network
     /** Frames delivered so far. */
     std::uint64_t delivered() const { return delivered_; }
 
+    /** NIC counters for @p port. */
+    const PortStats &portStats(PortId port) const
+    {
+        return ports_.at(port).stats;
+    }
+
+    /** Number of ports (for stats iteration). */
+    std::size_t numPorts() const { return ports_.size(); }
+
   private:
     struct Port
     {
@@ -98,10 +140,32 @@ class Network
         sim::Tick txBusyUntil = 0; ///< uplink serialization horizon
         sim::Tick rxBusyUntil = 0; ///< downlink serialization horizon
         Handler handler;
+        PortStats stats;
     };
+
+    /**
+     * A frame (or drop notification) between transmission and its
+     * delivery event. Slab-pooled; the scheduled event captures only
+     * {this, slot}.
+     */
+    struct InFlight
+    {
+        Frame frame;
+        Outcome outcome;
+        std::uint32_t next = 0; ///< free-list link while unused
+        bool deliver = false;   ///< false: hardware-ack drop report
+    };
+
+    static constexpr std::uint32_t noSlot = ~std::uint32_t(0);
 
     /** Serialization delay for @p bytes on one link. */
     sim::Tick txTime(std::uint64_t bytes) const;
+
+    /** Take a free in-flight record (growing the slab if needed). */
+    std::uint32_t acquireSlot();
+
+    /** The delivery/drop event for the record in @p slot fired. */
+    void fireInFlight(std::uint32_t slot);
 
     sim::Simulation &sim_;
     NetworkConfig cfg_;
@@ -109,6 +173,8 @@ class Network
     bool switchUp_ = true;
     std::uint64_t dropped_ = 0;
     std::uint64_t delivered_ = 0;
+    std::vector<InFlight> inflight_;
+    std::uint32_t freeHead_ = noSlot;
 };
 
 } // namespace performa::net

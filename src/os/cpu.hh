@@ -11,8 +11,8 @@
 #define PERFORMA_OS_CPU_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "sim/ring_buffer.hh"
 #include "sim/simulation.hh"
 #include "sim/small_fn.hh"
 #include "sim/types.hh"
@@ -71,7 +71,7 @@ class Cpu
     void maybeStart();
 
     sim::Simulation &sim_;
-    std::deque<Item> queue_;
+    sim::RingBuffer<Item> queue_;
     Item inflight_{}; ///< item being executed; keeps the completion
                       ///< event's capture down to {this, generation}
     bool running_ = false;

@@ -45,7 +45,7 @@ Server::Server(osim::Node &node, const PressConfig &cfg,
             failFast(reason);
     };
     cbs.onDatagram = [this](sim::NodeId peer, std::uint32_t kind,
-                            std::shared_ptr<void> payload) {
+                            sim::RcAny payload) {
         if (alive_ && !stopped_)
             onDatagram(peer, kind, std::move(payload));
     };
@@ -230,8 +230,7 @@ Server::onClientFrame(net::Frame &&f)
     }
     ++outstanding_;
     ++stats_.accepted;
-    ClientRequestBody req =
-        *std::static_pointer_cast<ClientRequestBody>(f.payload);
+    ClientRequestBody req = *f.payload.get<ClientRequestBody>();
     mainExec(cfg_.costs.acceptParse + cfg_.costs.clientConn,
              [this, req] { dispatch(req); });
 }
@@ -330,7 +329,7 @@ Server::forwardRequest(const ClientRequestBody &req, sim::NodeId target)
     proto::AppMessage m;
     m.type = MsgFwdRequest;
     m.bytes = cfg_.fwdReqBytes;
-    m.body = std::make_shared<FwdRequestBody>(body);
+    m.body = node_.simulation().makePayload<FwdRequestBody>(body);
 
     mainExec(comm_->sendCost(m.bytes),
         [this, target, m = std::move(m)]() mutable {
@@ -347,7 +346,7 @@ Server::respondToClient(sim::RequestId req, std::uint32_t reply_port)
     f.proto = net::Proto::Client;
     f.kind = ClientResponse;
     f.bytes = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
-    auto body = std::make_shared<ClientResponseBody>();
+    auto body = node_.simulation().makePayload<ClientResponseBody>();
     body->req = req;
     f.payload = std::move(body);
     node_.clientNet().send(std::move(f));
@@ -379,19 +378,19 @@ Server::onMessage(sim::NodeId peer, proto::AppMessage &&msg)
 
     switch (msg.type) {
       case MsgFwdRequest: {
-        auto body = std::static_pointer_cast<FwdRequestBody>(msg.body);
+        auto *body = msg.body.get<FwdRequestBody>();
         loads_[peer] = body->senderLoad;
         handleFwdRequest(peer, *body);
         break;
       }
       case MsgFileData: {
-        auto body = std::static_pointer_cast<FileDataBody>(msg.body);
+        auto *body = msg.body.get<FileDataBody>();
         loads_[peer] = body->senderLoad;
         handleFileData(*body);
         break;
       }
       case MsgCacheUpdate: {
-        auto body = std::static_pointer_cast<CacheUpdateBody>(msg.body);
+        auto *body = msg.body.get<CacheUpdateBody>();
         loads_[peer] = body->senderLoad;
         CacheUpdateBody b = *body;
         mainExec(cfg_.costs.broadcastHandle, [this, b] {
@@ -403,9 +402,9 @@ Server::onMessage(sim::NodeId peer, proto::AppMessage &&msg)
         break;
       }
       case MsgCacheInfo: {
-        auto body = std::static_pointer_cast<CacheInfoBody>(msg.body);
-        loads_[peer] = body->senderLoad;
-        auto b = body;
+        // The handler runs later on the CPU: keep an owning handle.
+        auto b = msg.body.cast<CacheInfoBody>();
+        loads_[peer] = b->senderLoad;
         sim::Tick cost = sim::usec(1) + b->files.size() / 5;
         mainExec(cost, [this, b] {
             for (sim::FileId f : b->files)
@@ -414,7 +413,7 @@ Server::onMessage(sim::NodeId peer, proto::AppMessage &&msg)
         break;
       }
       case MsgMemberDown: {
-        auto body = std::static_pointer_cast<MemberDownBody>(msg.body);
+        auto *body = msg.body.get<MemberDownBody>();
         loads_[peer] = body->senderLoad;
         if (members_.count(body->failed) && body->failed != node_.id())
             excludeNode(body->failed);
@@ -471,7 +470,7 @@ Server::sendFileData(sim::NodeId initial, sim::RequestId req,
     proto::AppMessage m;
     m.type = MsgFileData;
     m.bytes = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
-    m.body = std::make_shared<FileDataBody>(body);
+    m.body = node_.simulation().makePayload<FileDataBody>(body);
     sendOrQueue(initial, std::move(m));
 }
 
@@ -639,7 +638,7 @@ Server::joinTick()
 
 void
 Server::onDatagram(sim::NodeId peer, std::uint32_t kind,
-                   std::shared_ptr<void> payload)
+                   sim::RcAny payload)
 {
     switch (kind) {
       case DgHeartbeat:
@@ -655,7 +654,7 @@ Server::onDatagram(sim::NodeId peer, std::uint32_t kind,
         }
         if (*members_.begin() != node_.id())
             return; // only the lowest-ID active member replies
-        auto resp = std::make_shared<JoinRespBody>();
+        auto resp = node_.simulation().makePayload<JoinRespBody>();
         resp->members.assign(members_.begin(), members_.end());
         comm_->sendDatagram(peer, DgJoinResp, std::move(resp));
         break;
@@ -664,7 +663,7 @@ Server::onDatagram(sim::NodeId peer, std::uint32_t kind,
         if (joinResponded_ || !payload)
             return;
         joinResponded_ = true;
-        auto resp = std::static_pointer_cast<JoinRespBody>(payload);
+        auto *resp = payload.get<JoinRespBody>();
         for (sim::NodeId m : resp->members) {
             if (m != node_.id())
                 comm_->connect(m);
@@ -721,7 +720,7 @@ Server::hbCheckTick()
         proto::AppMessage msg;
         msg.type = MsgMemberDown;
         msg.bytes = cfg_.cacheUpdateBytes;
-        msg.body = std::make_shared<MemberDownBody>(body);
+        msg.body = node_.simulation().makePayload<MemberDownBody>(body);
         sendOrQueue(m, std::move(msg));
     }
 }
@@ -870,7 +869,7 @@ Server::broadcastCacheUpdate(sim::FileId file, bool added)
         proto::AppMessage msg;
         msg.type = MsgCacheUpdate;
         msg.bytes = cfg_.cacheUpdateBytes;
-        msg.body = std::make_shared<CacheUpdateBody>(body);
+        msg.body = node_.simulation().makePayload<CacheUpdateBody>(body);
         ++stats_.broadcastsSent;
         sendOrQueue(m, std::move(msg));
     }
@@ -896,7 +895,7 @@ Server::sendCacheInfoTo(sim::NodeId peer)
             msg.type = MsgCacheInfo;
             msg.bytes = chunk.files.size() * cfg_.cacheInfoEntryBytes;
             chunk.senderLoad = static_cast<std::uint32_t>(outstanding_);
-            msg.body = std::make_shared<CacheInfoBody>(chunk);
+            msg.body = node_.simulation().makePayload<CacheInfoBody>(chunk);
             sendOrQueue(peer, std::move(msg));
             if (!alive_)
                 return; // the send fail-fasted the process
@@ -908,7 +907,8 @@ Server::sendCacheInfoTo(sim::NodeId peer)
         msg.type = MsgCacheInfo;
         msg.bytes = chunk.files.size() * cfg_.cacheInfoEntryBytes;
         chunk.senderLoad = static_cast<std::uint32_t>(outstanding_);
-        msg.body = std::make_shared<CacheInfoBody>(std::move(chunk));
+        msg.body =
+            node_.simulation().makePayload<CacheInfoBody>(std::move(chunk));
         sendOrQueue(peer, std::move(msg));
     }
 }

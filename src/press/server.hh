@@ -155,7 +155,7 @@ class Server : public osim::Service
     void beginJoinProtocol();
     void joinTick();
     void onDatagram(sim::NodeId peer, std::uint32_t kind,
-                    std::shared_ptr<void> payload);
+                    sim::RcAny payload);
 
     // -- heartbeats -------------------------------------------------------
     void hbSendTick();

@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace performa::proto {
@@ -32,7 +32,7 @@ struct AppMessage
 {
     std::uint32_t type = 0;        ///< PRESS message type
     std::uint64_t bytes = 0;       ///< logical payload size
-    std::shared_ptr<void> body;    ///< PRESS payload (type-erased)
+    sim::RcAny body;               ///< PRESS payload (pooled, type-erased)
     bool corrupted = false;        ///< payload is garbage (fault)
 };
 
@@ -97,7 +97,7 @@ struct CommCallbacks
 
     /** An unreliable datagram (heartbeat, join message) arrived. */
     std::function<void(sim::NodeId, std::uint32_t,
-                       std::shared_ptr<void>)> onDatagram;
+                       sim::RcAny)> onDatagram;
 };
 
 /**
@@ -134,7 +134,7 @@ class ClusterComm
      * kernel memory on TCP-style stacks; silently dropped on loss.
      */
     virtual void sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                              std::shared_ptr<void> payload = {}) = 0;
+                              sim::RcAny payload = {}) = 0;
 
     /**
      * The application consumed one received message; used by the

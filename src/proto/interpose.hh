@@ -80,7 +80,7 @@ class FaultInterposer : public ClusterComm
                     const SendParams &params) override;
 
     void sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                      std::shared_ptr<void> payload = {}) override
+                      sim::RcAny payload = {}) override
     {
         inner_->sendDatagram(peer, kind, std::move(payload));
     }

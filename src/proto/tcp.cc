@@ -151,6 +151,7 @@ TcpComm::connect(sim::NodeId peer)
     c.id = id;
     c.peer = peer;
     c.rto = cfg_.rtoInitial;
+    c.rcvQueue.reserve(cfg_.rcvQueueMsgs);
     active_[peer] = id;
 
     net::Frame syn;
@@ -223,13 +224,14 @@ TcpComm::send(sim::NodeId peer, AppMessage msg, const SendParams &params)
     }
 
     OutMsg out;
-    out.msg = std::move(msg);
     out.wireBytes = wire;
     out.seq = c->seqNext++;
     // A bad offset or size does not fail the send call; it silently
     // corrupts the byte stream from this message onward.
     out.desync = params.ptrOffset != 0 || params.sizeDelta != 0;
-    c->sndBytes += out.msg.bytes;
+    c->sndBytes += msg.bytes;
+    // Pool the payload once; retransmissions reuse the same block.
+    out.msg = node_.simulation().makePayload<AppMessage>(std::move(msg));
     c->sndQueue.push_back(std::move(out));
     pump(*c);
     return SendStatus::Ok;
@@ -237,7 +239,7 @@ TcpComm::send(sim::NodeId peer, AppMessage msg, const SendParams &params)
 
 void
 TcpComm::sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                      std::shared_ptr<void> payload)
+                      sim::RcAny payload)
 {
     // Heartbeats need kernel buffers too: under the memory-exhaustion
     // fault they silently stop flowing.
@@ -296,7 +298,7 @@ TcpComm::pump(Conn &c)
     f.seq = m.seq;
     f.bytes = m.wireBytes;
     f.corrupted = m.desync;
-    f.payload = std::make_shared<AppMessage>(m.msg);
+    f.payload = m.msg; // refcount bump, no copy
     node_.intraNet().send(std::move(f));
 
     c.inFlight = true;
@@ -342,7 +344,7 @@ TcpComm::onRtoFired(std::uint64_t conn_id)
         f.seq = m.seq;
         f.bytes = m.wireBytes;
         f.corrupted = m.desync;
-        f.payload = std::make_shared<AppMessage>(m.msg);
+        f.payload = m.msg; // same pooled block as the first transmit
         node_.intraNet().send(std::move(f));
     }
     armRto(c);
@@ -478,6 +480,7 @@ TcpComm::handleSyn(const net::Frame &f)
     c.peer = peer;
     c.established = true;
     c.rto = cfg_.rtoInitial;
+    c.rcvQueue.reserve(cfg_.rcvQueueMsgs);
     active_[peer] = f.conn;
 
     net::Frame ack;
@@ -568,7 +571,7 @@ TcpComm::handleData(net::Frame &&f)
     in.peer = c.peer;
     in.desync = f.corrupted;
     if (f.payload)
-        in.msg = *std::static_pointer_cast<AppMessage>(f.payload);
+        in.msg = *f.payload.get<AppMessage>();
     c.rcvQueue.push_back(std::move(in));
 
     net::Frame ack;
@@ -599,7 +602,7 @@ TcpComm::handleAck(const net::Frame &f)
     if (c.skbufHeld)
         node_.kernelMem().free(c.sndQueue.front().wireBytes);
     c.skbufHeld = false;
-    c.sndBytes -= c.sndQueue.front().msg.bytes;
+    c.sndBytes -= c.sndQueue.front().msg->bytes;
     c.sndQueue.pop_front();
     c.inFlight = false;
     c.firstFailAt = 0;

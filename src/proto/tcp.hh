@@ -28,12 +28,12 @@
 #define PERFORMA_PROTO_TCP_HH
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 
 #include "net/frame.hh"
 #include "os/node.hh"
 #include "proto/comm.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulation.hh"
 
 namespace performa::proto {
@@ -88,7 +88,7 @@ class TcpComm : public ClusterComm
     SendStatus send(sim::NodeId peer, AppMessage msg,
                     const SendParams &params) override;
     void sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                      std::shared_ptr<void> payload = {}) override;
+                      sim::RcAny payload = {}) override;
     void consumed(sim::NodeId peer) override;
     void disconnect(sim::NodeId peer) override;
     void shutdown() override;
@@ -110,10 +110,16 @@ class TcpComm : public ClusterComm
         Ack,
     };
 
-    /** What a queued outbound message looks like. */
+    /**
+     * What a queued outbound message looks like. The pooled payload is
+     * created once at send() time; every (re)transmission attaches the
+     * same handle to the wire frame (refcount bump), so the block is
+     * recycled only when the final ack or abort drops the last
+     * reference.
+     */
     struct OutMsg
     {
-        AppMessage msg;
+        sim::Rc<AppMessage> msg;
         std::uint64_t wireBytes;
         std::uint64_t seq;
         /** Stream-desync fault riding on this message, if any. */
@@ -135,7 +141,7 @@ class TcpComm : public ClusterComm
         bool established = false;
 
         // sender side
-        std::deque<OutMsg> sndQueue;
+        sim::RingBuffer<OutMsg> sndQueue;
         std::uint64_t sndBytes = 0;
         std::uint64_t seqNext = 0;
         bool inFlight = false;
@@ -152,7 +158,7 @@ class TcpComm : public ClusterComm
 
         // receiver side
         std::uint64_t seqExpected = 0;
-        std::deque<InMsg> rcvQueue;
+        sim::RingBuffer<InMsg> rcvQueue;
         /** Deliveries queued on the CPU but not yet executed. */
         std::size_t scheduledDeliveries = 0;
     };

@@ -182,6 +182,8 @@ ViaComm::connect(sim::NodeId peer)
     Vi &vi = vis_[id];
     vi.id = id;
     vi.peer = peer;
+    vi.sndQueue.reserve(cfg_.credits);
+    vi.rcvQueue.reserve(cfg_.credits);
     active_[peer] = id;
     vi.connTries = 1;
     sendControl(peer, ConnReq, id);
@@ -242,8 +244,8 @@ ViaComm::send(sim::NodeId peer, AppMessage msg, const SendParams &params)
 
     --vi->remoteCredits;
     OutMsg out;
-    out.msg = std::move(msg);
-    out.wireBytes = out.msg.bytes + cfg_.headerBytes;
+    out.wireBytes = msg.bytes + cfg_.headerBytes;
+    out.msg = node_.simulation().makePayload<AppMessage>(std::move(msg));
     vi->sndQueue.push_back(std::move(out));
     pump(*vi);
     return SendStatus::Ok;
@@ -251,7 +253,7 @@ ViaComm::send(sim::NodeId peer, AppMessage msg, const SendParams &params)
 
 void
 ViaComm::sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                      std::shared_ptr<void> payload)
+                      sim::RcAny payload)
 {
     net::Frame f;
     f.srcPort = node_.intraPort();
@@ -287,7 +289,7 @@ ViaComm::pump(Vi &vi)
     f.kind = Data;
     f.conn = vi.id;
     f.bytes = m.wireBytes;
-    f.payload = std::make_shared<AppMessage>(m.msg);
+    f.payload = m.msg; // refcount bump, no copy
     vi.inFlight = true;
 
     std::uint64_t id = vi.id;
@@ -456,6 +458,8 @@ ViaComm::handleConnReq(const net::Frame &f)
     vi.peer = peer;
     vi.established = true;
     vi.remoteCredits = cfg_.credits;
+    vi.sndQueue.reserve(cfg_.credits);
+    vi.rcvQueue.reserve(cfg_.credits);
     active_[peer] = f.conn;
 
     sendControl(peer, ConnAck, f.conn);
@@ -478,7 +482,7 @@ ViaComm::handleData(net::Frame &&f)
     InMsg in;
     in.peer = vi.peer;
     if (f.payload)
-        in.msg = *std::static_pointer_cast<AppMessage>(f.payload);
+        in.msg = *f.payload.get<AppMessage>();
     vi.rcvQueue.push_back(std::move(in));
     scheduleDeliveries(vi);
 }

@@ -28,7 +28,6 @@
 #define PERFORMA_PROTO_VIA_HH
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -36,6 +35,7 @@
 #include "os/node.hh"
 #include "proto/comm.hh"
 #include "proto/tcp.hh" // for CommCosts
+#include "sim/ring_buffer.hh"
 #include "sim/simulation.hh"
 
 namespace performa::proto {
@@ -83,7 +83,7 @@ class ViaComm : public ClusterComm
     SendStatus send(sim::NodeId peer, AppMessage msg,
                     const SendParams &params) override;
     void sendDatagram(sim::NodeId peer, std::uint32_t kind,
-                      std::shared_ptr<void> payload = {}) override;
+                      sim::RcAny payload = {}) override;
     void consumed(sim::NodeId peer) override;
     void disconnect(sim::NodeId peer) override;
     void shutdown() override;
@@ -120,9 +120,10 @@ class ViaComm : public ClusterComm
         ErrorNotify, ///< RDMA completion error raised at the remote end
     };
 
+    /** Pooled once at send(); the wire frame shares the handle. */
     struct OutMsg
     {
-        AppMessage msg;
+        sim::Rc<AppMessage> msg;
         std::uint64_t wireBytes;
     };
 
@@ -139,11 +140,11 @@ class ViaComm : public ClusterComm
         bool established = false;
 
         std::uint32_t remoteCredits = 0;
-        std::deque<OutMsg> sndQueue;
+        sim::RingBuffer<OutMsg> sndQueue;
         bool inFlight = false;
         bool senderBlocked = false;
 
-        std::deque<InMsg> rcvQueue;
+        sim::RingBuffer<InMsg> rcvQueue;
         std::size_t scheduledDeliveries = 0;
 
         int connTries = 0;

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Per-simulation payload pool and the pooled refcounted handle Rc<T>,
+ * the message-path counterpart of the event engine's record slab
+ * (§2.1/§2.2 of DESIGN.md).
+ *
+ * Every simulated message used to carry a std::shared_ptr<void>
+ * payload: one heap allocation per message plus atomic refcount
+ * traffic on every frame hop, retransmit and delivery. A Simulation
+ * is confined to a single campaign worker thread, so none of that
+ * atomicity buys anything — payload blocks can come from a
+ * size-classed free list owned by the Simulation, with a plain
+ * (non-atomic) reference count.
+ *
+ * Contract (same as EventHandle): handles must not outlive the pool.
+ * Components hang off a Simulation and are destroyed before it, so in
+ * practice this means "don't stash an Rc somewhere that survives the
+ * Simulation". The pool is NOT thread-safe by design; cross-thread
+ * sharing of a Simulation is already a bug.
+ */
+
+#ifndef PERFORMA_SIM_POOL_HH
+#define PERFORMA_SIM_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace performa::sim {
+
+class PayloadPool;
+template <typename T> class Rc;
+
+/**
+ * Type-erased pooled payload handle: the replacement for
+ * std::shared_ptr<void> in net::Frame and proto::AppMessage.
+ *
+ * Copying bumps a non-atomic refcount; destroying the last handle
+ * runs the payload's destructor and returns its block to the owning
+ * pool's free list. get<T>() is the analogue of static_pointer_cast:
+ * the caller names the concrete type, exactly as the receiving stack
+ * already does via the frame/message kind.
+ */
+class RcAny
+{
+  public:
+    RcAny() = default;
+
+    RcAny(const RcAny &o) : b_(o.b_)
+    {
+        if (b_)
+            ++refs(b_);
+    }
+
+    RcAny(RcAny &&o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+
+    RcAny &
+    operator=(const RcAny &o)
+    {
+        RcAny tmp(o);
+        std::swap(b_, tmp.b_);
+        return *this;
+    }
+
+    RcAny &
+    operator=(RcAny &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            b_ = o.b_;
+            o.b_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~RcAny() { reset(); }
+
+    /** Drop this reference (possibly freeing the payload). */
+    inline void reset() noexcept;
+
+    /** @return true if a payload is attached. */
+    explicit operator bool() const { return b_ != nullptr; }
+
+    /**
+     * Access the payload as @p T. Unchecked, like static_pointer_cast:
+     * T must be the type the payload was created with.
+     */
+    template <typename T>
+    T *
+    get() const
+    {
+        return b_ ? static_cast<T *>(payload(b_)) : nullptr;
+    }
+
+    /** Re-type this handle as an owning Rc<T> (refcount bump). */
+    template <typename T> Rc<T> cast() const;
+
+    /** Current reference count (tests/debugging; 0 when empty). */
+    std::uint32_t refCount() const { return b_ ? refs(b_) : 0; }
+
+  protected:
+    friend class PayloadPool;
+
+    /**
+     * Block header preceding every pooled payload. `next` threads the
+     * per-size-class free list while the block is free.
+     */
+    struct Block
+    {
+        PayloadPool *pool;
+        void (*destroy)(void *) noexcept; ///< null: trivially destructible
+        Block *next;
+        std::uint32_t refs;
+        std::uint32_t classIdx;
+    };
+
+    static_assert(sizeof(Block) % alignof(std::max_align_t) == 0,
+                  "payload after the header must stay max-aligned");
+
+    explicit RcAny(Block *b) : b_(b) {}
+
+    static std::uint32_t &refs(Block *b) { return b->refs; }
+
+    static void *
+    payload(Block *b)
+    {
+        return reinterpret_cast<std::byte *>(b) + sizeof(Block);
+    }
+
+    Block *b_ = nullptr;
+};
+
+/** Typed pooled payload handle; converts freely to/from RcAny. */
+template <typename T> class Rc : public RcAny
+{
+  public:
+    Rc() = default;
+
+    T *get() const { return RcAny::get<T>(); }
+    T &operator*() const { return *get(); }
+    T *operator->() const { return get(); }
+
+  private:
+    friend class PayloadPool;
+    friend class RcAny;
+    explicit Rc(Block *b) : RcAny(b) {}
+};
+
+/**
+ * Size-classed free-list allocator for message payloads; one instance
+ * per Simulation. Blocks are allocated from the heap on first use of
+ * a size class and recycled forever after, so the steady-state
+ * message path performs no allocations at all (freshAllocs() stops
+ * moving — the property the message-path benchmarks and the
+ * allocation-counting test lock in).
+ */
+class PayloadPool
+{
+  public:
+    PayloadPool() = default;
+    PayloadPool(const PayloadPool &) = delete;
+    PayloadPool &operator=(const PayloadPool &) = delete;
+
+    ~PayloadPool()
+    {
+        for (void *c : chunks_)
+            ::operator delete(c);
+    }
+
+    /** Construct a @p T payload in a pooled block. */
+    template <typename T, typename... Args>
+    Rc<T>
+    make(Args &&...args)
+    {
+        static_assert(alignof(T) <= alignof(std::max_align_t),
+                      "over-aligned payloads are not supported");
+        Block *b = acquire(classFor(sizeof(T)));
+        try {
+            ::new (RcAny::payload(b)) T(std::forward<Args>(args)...);
+        } catch (...) {
+            recycle(b);
+            throw;
+        }
+        b->pool = this;
+        b->refs = 1;
+        b->destroy = std::is_trivially_destructible_v<T>
+                         ? nullptr
+                         : +[](void *p) noexcept {
+                               static_cast<T *>(p)->~T();
+                           };
+        return Rc<T>(b);
+    }
+
+    /** Blocks newly carved from the heap (not recycled). */
+    std::uint64_t freshAllocs() const { return freshAllocs_; }
+
+    /** Allocations served from a free list. */
+    std::uint64_t poolHits() const { return poolHits_; }
+
+    /** Blocks currently referenced by live handles. */
+    std::uint64_t
+    liveBlocks() const
+    {
+        return freshAllocs_ + poolHits_ - recycled_;
+    }
+
+  private:
+    friend class RcAny;
+
+    using Block = RcAny::Block;
+
+    static constexpr std::size_t minClassBytes = 32;
+    static constexpr std::size_t numClasses = 16; ///< up to 1 MiB
+
+    /** Smallest size class whose payload area holds @p bytes. */
+    static std::size_t
+    classFor(std::size_t bytes)
+    {
+        std::size_t idx = 0;
+        std::size_t cap = minClassBytes;
+        while (cap < bytes) {
+            cap <<= 1;
+            ++idx;
+        }
+        return idx;
+    }
+
+    Block *
+    acquire(std::size_t cls)
+    {
+        if (cls >= numClasses)
+            throw std::bad_alloc(); // no payload in the tree is ~1 MiB
+        if (Block *b = free_[cls]) {
+            free_[cls] = b->next;
+            ++poolHits_;
+            return b;
+        }
+        void *raw = ::operator new(sizeof(Block) +
+                                   (minClassBytes << cls));
+        chunks_.push_back(raw);
+        ++freshAllocs_;
+        Block *b = static_cast<Block *>(raw);
+        b->classIdx = static_cast<std::uint32_t>(cls);
+        return b;
+    }
+
+    void
+    recycle(Block *b) noexcept
+    {
+        b->next = free_[b->classIdx];
+        free_[b->classIdx] = b;
+        ++recycled_;
+    }
+
+    /** Called by RcAny when the last reference goes away. */
+    static void
+    release(Block *b) noexcept
+    {
+        if (--b->refs != 0)
+            return;
+        if (b->destroy)
+            b->destroy(RcAny::payload(b));
+        b->pool->recycle(b);
+    }
+
+    Block *free_[numClasses] = {};
+    std::vector<void *> chunks_; ///< every block ever carved (for ~)
+    std::uint64_t freshAllocs_ = 0;
+    std::uint64_t poolHits_ = 0;
+    std::uint64_t recycled_ = 0;
+};
+
+inline void
+RcAny::reset() noexcept
+{
+    if (b_) {
+        PayloadPool::release(b_);
+        b_ = nullptr;
+    }
+}
+
+template <typename T>
+Rc<T>
+RcAny::cast() const
+{
+    if (b_)
+        ++refs(b_);
+    return Rc<T>(b_);
+}
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_POOL_HH

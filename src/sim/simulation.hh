@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -34,6 +35,15 @@ class Simulation
 
     EventQueue &events() { return events_; }
     Rng &rng() { return rng_; }
+    PayloadPool &pool() { return pool_; }
+
+    /** Allocate a pooled message payload (see sim/pool.hh). */
+    template <typename T, typename... Args>
+    Rc<T>
+    makePayload(Args &&...args)
+    {
+        return pool_.make<T>(std::forward<Args>(args)...);
+    }
 
     /** Current simulated time. */
     Tick now() const { return events_.now(); }
@@ -62,6 +72,10 @@ class Simulation
     void runUntil(Tick limit) { events_.runUntil(limit); }
 
   private:
+    // The pool is declared before the event queue so it is destroyed
+    // after it: pending events may hold Rc payload handles (in-flight
+    // frames), and destroying them releases blocks back to the pool.
+    PayloadPool pool_;
     EventQueue events_;
     Rng rng_;
     std::uint64_t nextId_ = 1;

@@ -73,7 +73,7 @@ ClientFarm::issueRequest()
     ++totalOffered_;
     offered_.record(sim_.now());
 
-    auto body = std::make_shared<press::ClientRequestBody>();
+    auto body = sim_.makePayload<press::ClientRequestBody>();
     body->req = id;
     body->file = file;
     body->replyPort = client;
@@ -98,8 +98,7 @@ ClientFarm::onResponse(net::Frame &&f)
 {
     if (f.kind != press::ClientResponse || !f.payload)
         return;
-    auto body =
-        std::static_pointer_cast<press::ClientResponseBody>(f.payload);
+    auto *body = f.payload.get<press::ClientResponseBody>();
     auto it = pending_.find(body->req);
     if (it == pending_.end())
         return; // already expired: the client hung up long ago

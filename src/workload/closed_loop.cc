@@ -77,7 +77,7 @@ ClosedLoopFarm::issue(std::size_t user)
     p.user = user;
     p.sentAt = sim_.now();
 
-    auto body = std::make_shared<press::ClientRequestBody>();
+    auto body = sim_.makePayload<press::ClientRequestBody>();
     body->req = id;
     body->file = file;
     body->replyPort = client;
@@ -100,8 +100,7 @@ ClosedLoopFarm::onResponse(net::Frame &&f)
 {
     if (f.kind != press::ClientResponse || !f.payload)
         return;
-    auto body =
-        std::static_pointer_cast<press::ClientResponseBody>(f.payload);
+    auto *body = f.payload.get<press::ClientResponseBody>();
     auto it = pending_.find(body->req);
     if (it == pending_.end())
         return;

@@ -31,8 +31,7 @@ struct FarmWorld
             n.setHandler(p, [this, p](net::Frame &&f) {
                 if (!respond)
                     return;
-                auto req = std::static_pointer_cast<
-                    press::ClientRequestBody>(f.payload);
+                auto req = f.payload.cast<press::ClientRequestBody>();
                 auto reply = [this, p, req] {
                     net::Frame r;
                     r.srcPort = p;
@@ -41,7 +40,7 @@ struct FarmWorld
                     r.kind = press::ClientResponse;
                     r.bytes = 8192;
                     auto body =
-                        std::make_shared<press::ClientResponseBody>();
+                        s.makePayload<press::ClientResponseBody>();
                     body->req = req->req;
                     r.payload = std::move(body);
                     n.send(std::move(r));

@@ -65,6 +65,29 @@ TEST(Experiment, MarkersRecordInjectAndRecover)
     EXPECT_EQ(inj->t, sec(20));
 }
 
+TEST(Experiment, IntraPortStatsAccountForClusterTraffic)
+{
+    auto cfg = fastConfig(press::Version::TcpPress,
+                          fault::FaultKind::NodeCrash);
+    exp::ExperimentResult res = exp::runExperiment(cfg);
+    ASSERT_EQ(res.intraPortStats.size(),
+              static_cast<std::size_t>(cfg.cluster.press.numNodes));
+    std::uint64_t sent = 0, rcvd = 0, died = 0, drops = 0;
+    for (const net::PortStats &st : res.intraPortStats) {
+        EXPECT_GT(st.framesSent, 0u); // every node talks
+        sent += st.framesSent;
+        rcvd += st.framesReceived;
+        died += st.dropDiedInFlight;
+        drops += st.drops();
+    }
+    // Conservation: every accepted frame was delivered or died in
+    // flight, except the few still on the wire when the run ends.
+    EXPECT_GE(sent, rcvd + died);
+    EXPECT_LE(sent - (rcvd + died), 64u);
+    EXPECT_GT(drops, 0u); // the crash must have cost some frames
+
+}
+
 TEST(Experiment, DeterministicForSameSeed)
 {
     auto cfg = fastConfig(press::Version::TcpPress,

@@ -165,10 +165,50 @@ TEST(Network, DropOutcomeArrivesQuickly)
     EXPECT_GT(at, 0u);
 }
 
+TEST(Network, PortStatsCountTrafficAndDropCauses)
+{
+    World w;
+    w.n.send(w.frame(1000)); // delivered
+    w.s.runUntil(msec(1));
+
+    w.n.setPortUp(w.b, false); // dead destination host
+    w.n.send(w.frame(100));
+    w.n.setPortUp(w.b, true);
+
+    w.n.setLinkUp(w.a, false); // cut uplink
+    w.n.send(w.frame(100));
+    w.n.setLinkUp(w.a, true);
+
+    w.n.setSwitchUp(false); // dead switch
+    w.n.send(w.frame(100));
+    w.n.setSwitchUp(true);
+
+    // Accepted onto the wire, then the switch dies mid-flight.
+    w.n.send(w.frame(100));
+    w.s.scheduleIn(usec(1), [&] { w.n.setSwitchUp(false); });
+    w.s.runUntil(sec(1));
+
+    const net::PortStats &sa = w.n.portStats(w.a);
+    EXPECT_EQ(sa.framesSent, 2u); // the delivery and the in-flight death
+    EXPECT_EQ(sa.bytesSent, 1100u);
+    EXPECT_EQ(sa.framesReceived, 0u);
+    EXPECT_EQ(sa.dropPortDown, 1u);
+    EXPECT_EQ(sa.dropLinkDown, 1u);
+    EXPECT_EQ(sa.dropSwitchDown, 1u);
+    EXPECT_EQ(sa.dropDiedInFlight, 1u);
+    EXPECT_EQ(sa.drops(), 4u);
+
+    const net::PortStats &sb = w.n.portStats(w.b);
+    EXPECT_EQ(sb.framesSent, 0u);
+    EXPECT_EQ(sb.framesReceived, 1u);
+    EXPECT_EQ(sb.bytesReceived, 1000u);
+    EXPECT_EQ(sb.drops(), 0u); // drops charge the sender, not the target
+}
+
 TEST(Network, PayloadSurvivesTransit)
 {
     World w;
-    auto body = std::make_shared<int>(1234);
+    auto body = w.s.makePayload<int>(1234);
     net::Frame f = w.frame(64);
     f.payload = body;
     f.kind = 9;
@@ -178,6 +218,5 @@ TEST(Network, PayloadSurvivesTransit)
     ASSERT_EQ(w.delivered.size(), 1u);
     EXPECT_EQ(w.delivered[0].kind, 9u);
     EXPECT_EQ(w.delivered[0].conn, 77u);
-    EXPECT_EQ(*std::static_pointer_cast<int>(w.delivered[0].payload),
-              1234);
+    EXPECT_EQ(*w.delivered[0].payload.get<int>(), 1234);
 }

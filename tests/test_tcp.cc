@@ -77,7 +77,7 @@ struct TcpWorld
                 e.fatal.push_back(r);
             };
             cbs.onDatagram = [&e](NodeId, std::uint32_t kind,
-                                  std::shared_ptr<void>) {
+                                  sim::RcAny) {
                 e.datagrams.push_back(kind);
             };
             e.tcp->setCallbacks(std::move(cbs));
@@ -387,4 +387,59 @@ TEST(Tcp, SimultaneousConnectsConvergeOnOneConnection)
     EXPECT_EQ(w.eps[0].received.size(), 1u);
     EXPECT_TRUE(w.eps[0].broken.empty());
     EXPECT_TRUE(w.eps[1].broken.empty());
+}
+
+TEST(Tcp, RetransmitSharesPooledPayloadWithoutUseAfterFree)
+{
+    // The ABA/use-after-free trap of the payload pool: one pooled body
+    // is created at send() time and every retransmission attaches the
+    // SAME handle to its wire frame. Each dropped frame releases a
+    // reference; if any release wrongly freed the block, the churn
+    // below would recycle and scribble over it (and ASan would bite).
+    TcpWorld w;
+    w.eps[0].tcp->connect(1);
+    w.s.runUntil(msec(100));
+    ASSERT_TRUE(w.eps[0].tcp->connected(1));
+
+    auto body = w.s.makePayload<std::vector<std::uint64_t>>(
+        std::vector<std::uint64_t>(64, 0xA11CE));
+    sim::RcAny watch = body; // observer reference on the body block
+
+    AppMessage m = w.msg(4096, 7);
+    m.body = std::move(body);
+
+    w.intra.setSwitchUp(false);
+    ASSERT_EQ(w.eps[0].tcp->send(1, std::move(m), {}), SendStatus::Ok);
+
+    std::uint64_t drops0 = w.intra.dropped();
+    // Churn the pool while the RTO clock doubles through ~5 s of
+    // drops, so a wrongly recycled block would get reused.
+    for (int i = 1; i <= 5; ++i) {
+        w.s.scheduleIn(sec(static_cast<sim::Tick>(i)), [&w] {
+            for (int j = 0; j < 32; ++j)
+                w.s.makePayload<std::vector<std::uint64_t>>(
+                    std::vector<std::uint64_t>(64, 0xDEAD));
+        });
+    }
+    w.s.runUntil(w.s.now() + sec(5));
+    EXPECT_GT(w.intra.dropped(), drops0 + 2); // original + retransmits
+    EXPECT_TRUE(w.eps[1].received.empty());
+    // Queued OutMsg still owns the payload: us + the sender's message.
+    EXPECT_EQ(watch.refCount(), 2u);
+
+    w.intra.setSwitchUp(true);
+    w.s.runUntil(w.s.now() + sec(30)); // next RTO delivers; ack returns
+
+    ASSERT_EQ(w.eps[1].received.size(), 1u);
+    const AppMessage &got = w.eps[1].received[0];
+    EXPECT_EQ(got.type, 7u);
+    auto *v = got.body.get<std::vector<std::uint64_t>>();
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->size(), 64u);
+    EXPECT_EQ(v->front(), 0xA11CEull);
+    EXPECT_EQ(v->back(), 0xA11CEull);
+    // Sender side released at ack: the observer and the delivered copy.
+    EXPECT_EQ(watch.refCount(), 2u);
+    w.eps[1].received.clear();
+    EXPECT_EQ(watch.refCount(), 1u);
 }

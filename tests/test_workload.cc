@@ -36,15 +36,14 @@ struct FarmWorld
                 ++requestsPerServer[p];
                 if (!respond)
                     return;
-                auto req = std::static_pointer_cast<
-                    press::ClientRequestBody>(f.payload);
+                auto *req = f.payload.get<press::ClientRequestBody>();
                 net::Frame r;
                 r.srcPort = p;
                 r.dstPort = req->replyPort;
                 r.proto = net::Proto::Client;
                 r.kind = press::ClientResponse;
                 r.bytes = 8192;
-                auto body = std::make_shared<press::ClientResponseBody>();
+                auto body = s.makePayload<press::ClientResponseBody>();
                 body->req = req->req;
                 r.payload = std::move(body);
                 n.send(std::move(r));
@@ -147,15 +146,14 @@ TEST(ClientFarm, LateResponseCountsAsFailure)
     std::uint64_t failed = farm.totalFailed();
     EXPECT_GT(failed, 0u);
     for (auto &f : pending) {
-        auto req =
-            std::static_pointer_cast<press::ClientRequestBody>(f.payload);
+        auto *req = f.payload.get<press::ClientRequestBody>();
         net::Frame r;
         r.srcPort = f.dstPort;
         r.dstPort = req->replyPort;
         r.proto = net::Proto::Client;
         r.kind = press::ClientResponse;
         r.bytes = 100;
-        auto body = std::make_shared<press::ClientResponseBody>();
+        auto body = w.s.makePayload<press::ClientResponseBody>();
         body->req = req->req;
         r.payload = std::move(body);
         w.n.send(std::move(r));
@@ -177,8 +175,7 @@ TEST(ClientFarm, PopularityFollowsZipf)
     std::map<sim::FileId, int> hits;
     for (auto p : w.servers) {
         w.n.setHandler(p, [&hits](net::Frame &&f) {
-            auto req = std::static_pointer_cast<
-                press::ClientRequestBody>(f.payload);
+            auto *req = f.payload.get<press::ClientRequestBody>();
             ++hits[req->file];
         });
     }

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Locks in the allocation-free message path: global operator new is
+ * replaced with a counting hook, and a warmed-up TCP echo flood (plus
+ * a raw Network frame blast) must execute its steady-state window
+ * without a single heap allocation — payloads come from the pool,
+ * in-flight frames from the parked slab, queue slots from the rings,
+ * and event records from the event-engine slab.
+ *
+ * This file must stay its own test binary: the hook is global.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <unordered_map>
+
+#include "net/network.hh"
+#include "os/node.hh"
+#include "proto/tcp.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+bool g_counting = false;
+std::uint64_t g_news = 0;
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_counting)
+        ++g_news;
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t n, std::size_t align)
+{
+    if (g_counting)
+        ++g_news;
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *) : align,
+                       n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    return countedAllocAligned(n, static_cast<std::size_t>(a));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t a)
+{
+    return countedAllocAligned(n, static_cast<std::size_t>(a));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace performa;
+
+namespace {
+
+struct TwoNodeWorld
+{
+    sim::Simulation sim{7};
+    net::Network intra{sim};
+    net::Network client{sim};
+    net::PortId p0, p1, c0, c1;
+    std::unique_ptr<osim::Node> n0, n1;
+
+    TwoNodeWorld()
+    {
+        p0 = intra.addPort();
+        p1 = intra.addPort();
+        c0 = client.addPort();
+        c1 = client.addPort();
+        n0 = std::make_unique<osim::Node>(sim, 0, intra, p0, client, c0);
+        n1 = std::make_unique<osim::Node>(sim, 1, intra, p1, client, c1);
+    }
+
+    std::unordered_map<sim::NodeId, net::PortId>
+    ports() const
+    {
+        return {{0, p0}, {1, p1}};
+    }
+};
+
+} // namespace
+
+TEST(ZeroAlloc, TcpEchoFloodSteadyStateAllocatesNothing)
+{
+    TwoNodeWorld w;
+    proto::TcpComm a(*w.n0, proto::TcpConfig{}, w.ports());
+    proto::TcpComm b(*w.n1, proto::TcpConfig{}, w.ports());
+    std::uint64_t echoed = 0;
+    proto::CommCallbacks bcbs;
+    bcbs.onMessage = [&](sim::NodeId peer, proto::AppMessage &&m) {
+        b.send(peer, std::move(m), {});
+    };
+    b.setCallbacks(bcbs);
+    proto::CommCallbacks acbs;
+    acbs.onMessage = [&](sim::NodeId, proto::AppMessage &&) { ++echoed; };
+    a.setCallbacks(acbs);
+    a.start();
+    b.start();
+    a.connect(1);
+    w.sim.runUntil(sim::sec(1));
+    ASSERT_TRUE(a.connected(1));
+
+    constexpr int kWindow = 16;
+    auto pumpWindow = [&] {
+        for (int i = 0; i < kWindow; ++i) {
+            proto::AppMessage m;
+            m.type = 1;
+            m.bytes = 1024;
+            a.send(1, std::move(m), {});
+        }
+        w.sim.events().runAll();
+    };
+
+    // Warm-up: let every slab, ring, pool class and the event heap
+    // reach steady-state capacity.
+    for (int r = 0; r < 50; ++r)
+        pumpWindow();
+
+    std::uint64_t fresh_before = w.sim.pool().freshAllocs();
+    std::uint64_t echoed_before = echoed;
+    g_news = 0;
+    g_counting = true;
+    for (int r = 0; r < 200; ++r)
+        pumpWindow();
+    g_counting = false;
+
+    EXPECT_EQ(echoed - echoed_before, 200u * kWindow);
+    EXPECT_EQ(g_news, 0u) << "heap allocations in the steady state";
+    EXPECT_EQ(w.sim.pool().freshAllocs(), fresh_before)
+        << "payload pool carved fresh blocks in the steady state";
+}
+
+TEST(ZeroAlloc, NetworkFrameBlastSteadyStateAllocatesNothing)
+{
+    sim::Simulation s{7};
+    net::Network net{s};
+    net::PortId p0 = net.addPort();
+    net::PortId p1 = net.addPort();
+    std::uint64_t got = 0, acked = 0;
+    net.setHandler(p1, [&](net::Frame &&) { ++got; });
+
+    constexpr int kBurst = 64;
+    auto blast = [&] {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Frame f;
+            f.srcPort = p0;
+            f.dstPort = p1;
+            f.bytes = 512;
+            net.send(std::move(f), [&](bool ok) { acked += ok; });
+        }
+        s.events().runAll();
+    };
+
+    for (int r = 0; r < 20; ++r)
+        blast();
+
+    std::uint64_t got_before = got;
+    g_news = 0;
+    g_counting = true;
+    for (int r = 0; r < 100; ++r)
+        blast();
+    g_counting = false;
+
+    EXPECT_EQ(got - got_before, 100u * kBurst);
+    EXPECT_EQ(acked, got);
+    EXPECT_EQ(g_news, 0u) << "heap allocations in the steady state";
+}

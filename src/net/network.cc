@@ -46,8 +46,13 @@ Network::setSwitchUp(bool up)
 sim::Tick
 Network::txTime(std::uint64_t bytes) const
 {
+    // Ceiling, not floor: a partially-filled final microsecond still
+    // occupies the wire, and flooring would undercharge every size that
+    // is not a multiple of bytesPerUsec.
     double us = static_cast<double>(bytes) / cfg_.bytesPerUsec;
     sim::Tick t = static_cast<sim::Tick>(us);
+    if (static_cast<double>(t) < us)
+        ++t;
     return t == 0 ? 1 : t;
 }
 

@@ -76,6 +76,30 @@ TEST(Network, DeliveryTimeMatchesModel)
     EXPECT_EQ(at, usec(27));
 }
 
+TEST(Network, SerializationChargesPartialMicroseconds)
+{
+    // 150 bytes at 100 B/us occupies the wire for 2 us, not 1: the
+    // fractional final microsecond must round up, not truncate.
+    World w;
+    Tick at = 0;
+    w.n.setHandler(w.b, [&](net::Frame &&) { at = w.s.now(); });
+    w.n.send(w.frame(150));
+    w.s.runUntil(sec(1));
+    // tx 2 + link 3 + switch 1 + rx 2 + link 3 = 11 us
+    EXPECT_EQ(at, usec(11));
+
+    // Exact multiples are unaffected, and a sub-microsecond frame still
+    // costs the 1-tick minimum.
+    at = 0;
+    w.n.send(w.frame(100));
+    w.s.runUntil(sec(2));
+    EXPECT_EQ(at, sec(1) + usec(9));
+    at = 0;
+    w.n.send(w.frame(1));
+    w.s.runUntil(sec(3));
+    EXPECT_EQ(at, sec(2) + usec(9));
+}
+
 TEST(Network, BackToBackFramesSerialize)
 {
     World w;

@@ -10,11 +10,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/performability.hh"
+#include "loadgen/session_farm.hh"
 #include "net/network.hh"
 #include "os/node.hh"
 #include "press/cache.hh"
+#include "press/messages.hh"
 #include "proto/tcp.hh"
 #include "proto/via.hh"
+#include "sim/latency_histogram.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 
@@ -429,5 +432,78 @@ BM_ModelEvaluate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelEvaluate);
+
+static void
+BM_LatencyHistogramRecord(benchmark::State &state)
+{
+    // The per-response observability cost: one log-linear bucket
+    // insert per latency sample. This sits on the client hot path four
+    // times per served request (total + three stages), so it must stay
+    // a handful of nanoseconds. Values are pre-drawn so the benchmark
+    // times the histogram, not the RNG.
+    sim::LatencyHistogram h;
+    sim::Rng rng(7);
+    constexpr std::size_t kVals = 4096;
+    std::vector<std::uint64_t> vals(kVals);
+    for (auto &v : vals)
+        v = rng.uniformInt(1, sim::sec(2));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        h.record(vals[i]);
+        i = (i + 1) & (kVals - 1);
+    }
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+static void
+BM_SessionClientChurn(benchmark::State &state)
+{
+    // The session-client engine against a zero-delay stamp-echoing
+    // server: think timers, session churn, request/response payloads
+    // and four histogram inserts per served request. Bounds how much
+    // simulated client traffic the heavy-traffic profiles can push.
+    sim::Simulation s{7};
+    net::Network net{s};
+    std::vector<net::PortId> servers, clients;
+    for (int i = 0; i < 4; ++i)
+        servers.push_back(net.addPort());
+    for (int i = 0; i < 2; ++i)
+        clients.push_back(net.addPort());
+    for (net::PortId p : servers) {
+        net.setHandler(p, [&s, &net, p](net::Frame &&f) {
+            auto *req = f.payload.get<press::ClientRequestBody>();
+            net::Frame r;
+            r.srcPort = p;
+            r.dstPort = req->replyPort;
+            r.proto = net::Proto::Client;
+            r.kind = press::ClientResponse;
+            r.bytes = 8192;
+            auto body = s.makePayload<press::ClientResponseBody>();
+            body->req = req->req;
+            body->sentAt = req->sentAt;
+            body->acceptedAt = s.now();
+            body->serviceStartAt = s.now();
+            r.payload = std::move(body);
+            net.send(std::move(r));
+        });
+    }
+
+    wl::WorkloadConfig cfg;
+    cfg.requestRate = 2000;
+    cfg.numFiles = 1000;
+    auto profile = *wl::profileByName("sessions");
+    wl::SessionFarm farm(s, net, servers, clients, cfg, profile);
+    farm.start();
+    s.runUntil(sim::sec(1)); // warm: pools, slabs, session table
+
+    std::uint64_t served_before = farm.totalServed();
+    for (auto _ : state)
+        s.runUntil(s.now() + sim::msec(10));
+    benchmark::DoNotOptimize(farm.totalServed());
+    state.SetItemsProcessed(farm.totalServed() - served_before);
+}
+BENCHMARK(BM_SessionClientChurn);
 
 BENCHMARK_MAIN();

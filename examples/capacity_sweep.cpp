@@ -13,8 +13,8 @@
 
 #include "press/cluster.hh"
 #include "sim/simulation.hh"
-#include "workload/client_farm.hh"
-#include "workload/closed_loop.hh"
+#include "loadgen/client_farm.hh"
+#include "loadgen/closed_loop.hh"
 
 using namespace performa;
 

@@ -9,14 +9,17 @@
  * derived from (campaign seed, grid point), never from scheduling.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/phase1.hh"
 #include "campaign/thread_pool.hh"
+#include "core/scenarios.hh"
 
 using namespace performa;
 
@@ -43,6 +46,14 @@ usage(const char *argv0)
         "  --nodes LIST   comma-separated cluster sizes (default 4)\n"
         "  --scale LIST   comma-separated offered-load scales\n"
         "                 (default 1.0)\n"
+        "  --profile NAME workload shape: steady (default), sessions,\n"
+        "                 pareto, diurnal, flashcrowd; non-default\n"
+        "                 shapes get a .pNAME cache suffix\n"
+        "  --slo SPEC     latency SLO, e.g. p99=500ms (also p50/p90/\n"
+        "                 p99.9; units s/ms/us). Records per-stage\n"
+        "                 latency histograms, adds SLO columns to the\n"
+        "                 cache (own .sloSPEC suffix), and prints the\n"
+        "                 phase-2 P vs P_slo comparison\n"
         "  --fresh        re-measure everything, ignore cached rows\n"
         "  --net-stats    print per-port NIC counters (traffic and\n"
         "                 drops by cause) for each measured point\n"
@@ -78,7 +89,8 @@ defaultCachePath()
 /** Cache path for one (nodes, scale) combo: plain for the default. */
 std::string
 comboCachePath(const std::string &base, std::uint32_t nodes,
-               double scale)
+               double scale, const std::string &profile,
+               const std::string &sloSpec)
 {
     std::string path = base;
     if (nodes != 4)
@@ -88,7 +100,173 @@ comboCachePath(const std::string &base, std::uint32_t nodes,
         std::snprintf(buf, sizeof buf, ".x%g", scale);
         path += buf;
     }
+    if (!profile.empty() && profile != "steady")
+        path += ".p" + profile;
+    if (!sloSpec.empty()) {
+        // SLO rows carry extra columns: never share a cache with a
+        // plain campaign (its rows would satisfy the grid without
+        // latency data).
+        std::string tag = sloSpec;
+        for (char &c : tag)
+            if (c == '=' || c == '.')
+                c = '_';
+        path += ".slo" + tag;
+    }
     return path;
+}
+
+/** Parse "p99=500ms" (p50/p90/p99/p99.9; units s/ms/us). */
+std::optional<model::LatencySlo>
+parseSlo(const std::string &spec)
+{
+    std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || spec.empty() || spec[0] != 'p')
+        return std::nullopt;
+    std::string q = spec.substr(1, eq - 1);
+    char *qend = nullptr;
+    double pct = std::strtod(q.c_str(), &qend);
+    if (qend == q.c_str() || *qend != '\0' || pct <= 0 || pct >= 100)
+        return std::nullopt;
+
+    std::string th = spec.substr(eq + 1);
+    char *tend = nullptr;
+    double val = std::strtod(th.c_str(), &tend);
+    if (tend == th.c_str() || val <= 0)
+        return std::nullopt;
+    std::string unit = tend;
+    double us;
+    if (unit == "s")
+        us = val * 1e6;
+    else if (unit == "ms" || unit.empty())
+        us = val * 1e3;
+    else if (unit == "us")
+        us = val;
+    else
+        return std::nullopt;
+
+    model::LatencySlo slo;
+    slo.quantile = pct / 100.0;
+    slo.thresholdUs = static_cast<std::uint64_t>(us);
+    return slo;
+}
+
+/**
+ * Post-campaign SLO analysis: per-point latency views, the phase-2
+ * P vs P_slo comparison under the same-fault-load scenario (Fig. 6),
+ * and any (version, fault) rankings that flip once performability is
+ * defined over the latency SLO instead of raw throughput.
+ */
+void
+printSloReport(const exp::BehaviorDb &db, const model::LatencySlo &slo,
+               std::uint32_t numNodes)
+{
+    std::printf("\nlatency view (SLO: p%g <= %.6g ms):\n",
+                slo.quantile * 100.0, slo.thresholdUs / 1000.0);
+    for (press::Version v : press::allVersions) {
+        for (fault::FaultKind k : fault::allFaultKinds) {
+            if (!db.has(v, k))
+                return; // incomplete grid: nothing to model
+            const model::LatencySummary &ls = db.get(v, k).latency;
+            if (!ls.present)
+                return;
+            std::printf(
+                "  %-13s %-15s fracN %.4f p50 %7.1fms p99 %7.1fms"
+                " | within-SLO A %.3f B %.3f C %.3f D %.3f E %.3f\n",
+                press::versionName(v), fault::faultName(k),
+                ls.fracWithinNormal, ls.p50Us / 1000.0,
+                ls.p99Us / 1000.0, ls.fracWithin[model::StageA],
+                ls.fracWithin[model::StageB],
+                ls.fracWithin[model::StageC],
+                ls.fracWithin[model::StageD],
+                ls.fracWithin[model::StageE]);
+        }
+    }
+
+    model::ScenarioOptions sopts;
+    sopts.numNodes = static_cast<int>(numNodes);
+    struct Row
+    {
+        press::Version v;
+        model::PerfResult pr;
+    };
+    std::vector<Row> rows;
+    for (press::Version v : press::allVersions)
+        rows.push_back({v, model::evaluateScenario(v, db.lookup(),
+                                                   sopts)});
+
+    std::printf("\nperformability, throughput vs SLO-goodput "
+                "(same fault load):\n");
+    std::printf("  %-13s %9s %12s %9s %12s\n", "version", "Tn", "P",
+                "Tn_slo", "P_slo");
+    for (const Row &r : rows)
+        std::printf("  %-13s %9.1f %12.1f %9.1f %12.1f\n",
+                    press::versionName(r.v), r.pr.normalTput,
+                    r.pr.performability, r.pr.sloNormalTput,
+                    r.pr.sloPerformability);
+
+    // Overall ranking flips.
+    bool anyFlip = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t j = i + 1; j < rows.size(); ++j) {
+            bool byTput = rows[i].pr.performability >
+                          rows[j].pr.performability;
+            bool bySlo = rows[i].pr.sloPerformability >
+                         rows[j].pr.sloPerformability;
+            if (byTput != bySlo) {
+                anyFlip = true;
+                const Row &w = byTput ? rows[i] : rows[j];
+                const Row &l = byTput ? rows[j] : rows[i];
+                std::printf("  ranking flip: %s > %s on throughput-P "
+                            "but %s > %s on SLO-P\n",
+                            press::versionName(w.v),
+                            press::versionName(l.v),
+                            press::versionName(l.v),
+                            press::versionName(w.v));
+            }
+        }
+    }
+
+    // Per-fault ranking flips: order versions by this fault's share
+    // of unavailability vs its share of SLO unavailability.
+    for (fault::FaultKind k : fault::allFaultKinds) {
+        std::vector<std::pair<press::Version, std::pair<double, double>>>
+            contrib;
+        for (const Row &r : rows) {
+            double u = 0, su = 0;
+            for (const model::FaultContribution &c : r.pr.breakdown) {
+                if (c.kind == k) {
+                    u += c.unavailability;
+                    su += c.sloUnavailability;
+                }
+            }
+            contrib.push_back({r.v, {u, su}});
+        }
+        for (std::size_t i = 0; i < contrib.size(); ++i) {
+            for (std::size_t j = i + 1; j < contrib.size(); ++j) {
+                bool byTput = contrib[i].second.first <
+                              contrib[j].second.first;
+                bool bySlo = contrib[i].second.second <
+                             contrib[j].second.second;
+                if (byTput != bySlo) {
+                    anyFlip = true;
+                    auto &a = contrib[byTput ? i : j];
+                    auto &b = contrib[byTput ? j : i];
+                    std::printf(
+                        "  ranking flip under %s: %s beats %s on "
+                        "throughput unavailability (%.3g < %.3g) but "
+                        "loses on SLO unavailability (%.3g > %.3g)\n",
+                        fault::faultName(k),
+                        press::versionName(a.first),
+                        press::versionName(b.first), a.second.first,
+                        b.second.first, a.second.second,
+                        b.second.second);
+                }
+            }
+        }
+    }
+    if (!anyFlip)
+        std::printf("  no (version, fault) ranking flips under this "
+                    "SLO\n");
 }
 
 std::string
@@ -114,6 +292,9 @@ main(int argc, char **argv)
     std::vector<std::uint32_t> nodeAxis = {4};
     std::vector<double> scaleAxis = {1.0};
     bool fresh = false, quiet = false, list = false, netStats = false;
+    loadgen::LoadProfileSpec profile;
+    std::string sloSpec;
+    std::optional<model::LatencySlo> slo;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -140,6 +321,25 @@ main(int argc, char **argv)
             scaleAxis.clear();
             for (const std::string &tok : splitCsv(value("--scale")))
                 scaleAxis.push_back(std::strtod(tok.c_str(), nullptr));
+        } else if (arg == "--profile") {
+            std::string name = value("--profile");
+            auto p = loadgen::profileByName(name);
+            if (!p) {
+                std::fprintf(stderr, "unknown profile: %s\n",
+                             name.c_str());
+                return 2;
+            }
+            profile = *p;
+        } else if (arg == "--slo") {
+            sloSpec = value("--slo");
+            slo = parseSlo(sloSpec);
+            if (!slo) {
+                std::fprintf(stderr,
+                             "bad --slo spec (want e.g. p99=500ms): "
+                             "%s\n",
+                             sloSpec.c_str());
+                return 2;
+            }
         } else if (arg == "--fresh") {
             fresh = true;
         } else if (arg == "--net-stats") {
@@ -173,7 +373,8 @@ main(int argc, char **argv)
                             press::versionName(v), fault::faultName(k),
                             n, x,
                             static_cast<unsigned long long>(
-                                campaign::phase1Seed(seed, v, k, n, x)));
+                                campaign::phase1Seed(seed, v, k, n, x,
+                                                     profile.name)));
         return 0;
     }
 
@@ -189,7 +390,10 @@ main(int argc, char **argv)
             opts.numNodes = n;
             opts.loadScale = x;
             opts.fresh = fresh;
-            std::string path = comboCachePath(cache, n, x);
+            opts.profile = profile;
+            opts.slo = slo;
+            std::string path =
+                comboCachePath(cache, n, x, profile.name, sloSpec);
             std::printf("campaign: %zu-point grid, nodes=%u scale=%g "
                         "jobs=%u cache=%s\n",
                         std::size(press::allVersions) *
@@ -255,6 +459,8 @@ main(int argc, char **argv)
                             f.error.c_str());
             if (!res.ok())
                 anyFailed = true;
+            else if (slo)
+                printSloReport(db, *slo, n);
         }
     }
     return anyFailed ? 1 : 0;

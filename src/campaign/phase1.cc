@@ -10,15 +10,24 @@ namespace performa::campaign {
 std::uint64_t
 phase1Seed(std::uint64_t campaign_seed, press::Version v,
            fault::FaultKind k, std::uint32_t num_nodes,
-           double load_scale)
+           double load_scale, const std::string &profile)
 {
     // Version 1 of the derivation; bump the leading component if the
     // scheme ever changes so stale caches can't masquerade as fresh.
+    // The default profile contributes nothing, keeping every
+    // historical seed (and the cached grid) intact.
+    if (profile.empty() || profile == "steady")
+        return deriveSeed(campaign_seed,
+                          {1ull, static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(k),
+                           static_cast<std::uint64_t>(num_nodes),
+                           seedComponent(load_scale)});
     return deriveSeed(campaign_seed,
                       {1ull, static_cast<std::uint64_t>(v),
                        static_cast<std::uint64_t>(k),
                        static_cast<std::uint64_t>(num_nodes),
-                       seedComponent(load_scale)});
+                       seedComponent(load_scale),
+                       seedComponent(profile)});
 }
 
 std::uint64_t
@@ -42,8 +51,9 @@ phase1Config(press::Version v, fault::FaultKind k,
     exp::ExperimentConfig cfg = exp::experimentFor(v, k);
     cfg.cluster.press.numNodes = opts.numNodes;
     cfg.workload.requestRate *= opts.loadScale;
+    cfg.profile = opts.profile;
     cfg.seed = phase1Seed(opts.campaignSeed, v, k, opts.numNodes,
-                          opts.loadScale);
+                          opts.loadScale, opts.profile.name);
     return cfg;
 }
 
@@ -92,12 +102,14 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
             return opts.measureFn(cfg);
         };
     } else {
-        measure = [&statSlots, collect_stats](
+        measure = [&statSlots, collect_stats, &opts](
                       std::size_t i, const exp::ExperimentConfig &cfg) {
             exp::ExperimentResult res = exp::runExperiment(cfg);
             if (collect_stats)
                 statSlots[i] = std::move(res.intraPortStats);
-            return exp::extractBehavior(res, *cfg.fault);
+            exp::ExtractionParams p;
+            p.slo = opts.slo;
+            return exp::extractBehavior(res, *cfg.fault, p);
         };
     }
 

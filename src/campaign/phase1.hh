@@ -16,19 +16,29 @@
 #define PERFORMA_CAMPAIGN_PHASE1_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/runner.hh"
 #include "exp/behavior_db.hh"
+#include "loadgen/load_profile.hh"
 #include "net/network.hh"
 
 namespace performa::campaign {
 
-/** Per-job seed for one grid point. Pure; order-independent. */
+/**
+ * Per-job seed for one grid point. Pure; order-independent. The
+ * profile name participates only when it names a non-default shape
+ * ("" and "steady" derive the historical seed), so the default grid
+ * stays byte-identical. The latency SLO never enters the seed: it is
+ * pure observation, and the throughput columns of an SLO campaign
+ * must match the plain one's.
+ */
 std::uint64_t phase1Seed(std::uint64_t campaign_seed, press::Version v,
                          fault::FaultKind k, std::uint32_t num_nodes = 4,
-                         double load_scale = 1.0);
+                         double load_scale = 1.0,
+                         const std::string &profile = {});
 
 /** Pack a grid point into a Job::tag (and back from a JobReport). */
 std::uint64_t phase1Tag(press::Version v, fault::FaultKind k);
@@ -50,6 +60,11 @@ struct Phase1Options
     /** Optional extra axes (defaults reproduce the paper's testbed). */
     std::uint32_t numNodes = 4;
     double loadScale = 1.0; ///< scales the saturating offered load
+
+    /** Workload shape (default: the paper's flat open-loop load). */
+    loadgen::LoadProfileSpec profile;
+    /** Record latencies and attach SLO columns to the behaviours. */
+    std::optional<model::LatencySlo> slo;
 
     /** Re-measure everything, ignoring cached rows. */
     bool fresh = false;

@@ -5,54 +5,23 @@
  * must be a pure function of the campaign seed and the job's identity
  * so results are bit-identical regardless of worker count, submission
  * order, or completion order.
+ *
+ * The primitives (splitmix64 mixing, component derivation) live in
+ * sim/random.hh so the simulation core can split per-generator RNG
+ * streams with the same scheme; this header re-exports them under the
+ * campaign namespace for the existing call sites.
  */
 
 #ifndef PERFORMA_CAMPAIGN_SEED_HH
 #define PERFORMA_CAMPAIGN_SEED_HH
 
-#include <bit>
-#include <cstdint>
-#include <initializer_list>
+#include "sim/random.hh"
 
 namespace performa::campaign {
 
-/**
- * splitmix64 finalizer: a fast, well-distributed 64-bit mixing
- * function (Steele et al., "Fast splittable pseudorandom number
- * generators"). Used as the combining step of seed derivation.
- */
-constexpr std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-/**
- * Derive one job seed from the campaign seed plus any number of
- * integer identity components (version, fault kind, cluster size,
- * ...). Order-sensitive: (a, b) and (b, a) give different seeds.
- * Never returns 0 so the result is safe for engines that reject a
- * zero seed.
- */
-constexpr std::uint64_t
-deriveSeed(std::uint64_t campaign_seed,
-           std::initializer_list<std::uint64_t> components)
-{
-    std::uint64_t h = mix64(campaign_seed);
-    for (std::uint64_t c : components)
-        h = mix64(h ^ mix64(c));
-    return h ? h : 0x9e3779b97f4a7c15ull;
-}
-
-/** Hash a double identity component (e.g. a load-scale axis) by bits. */
-inline std::uint64_t
-seedComponent(double v)
-{
-    return std::bit_cast<std::uint64_t>(v);
-}
+using sim::deriveSeed;
+using sim::mix64;
+using sim::seedComponent;
 
 } // namespace performa::campaign
 

@@ -13,6 +13,8 @@ resolveStages(const MeasuredBehavior &mb, double mttr_sec,
 {
     ResolvedStages r;
     r.tput = mb.tput;
+    if (mb.latency.present)
+        r.fracWithin = mb.latency.fracWithin;
 
     if (mb.detected) {
         // A: fault occurrence -> detection (measured latency).
@@ -34,6 +36,9 @@ resolveStages(const MeasuredBehavior &mb, double mttr_sec,
         r.durSec[StageC] = 0.0;
         r.tput[StageC] = mb.tput[StageA];
         r.durSec[StageD] = mb.dur[StageD];
+        // Mirror the throughput remap in the goodput fractions.
+        r.fracWithin[StageB] = r.fracWithin[StageA];
+        r.fracWithin[StageC] = r.fracWithin[StageA];
     }
 
     if (mb.healed) {
@@ -44,6 +49,10 @@ resolveStages(const MeasuredBehavior &mb, double mttr_sec,
         r.durSec[StageG] = 0.0;
         r.tput[StageF] = 0.0;
         r.tput[StageG] = mb.normalTput;
+        if (mb.latency.present) {
+            r.fracWithin[StageE] = mb.latency.fracWithinNormal;
+            r.fracWithin[StageG] = mb.latency.fracWithinNormal;
+        }
     } else {
         // The cluster stays splintered until the operator steps in.
         r.durSec[StageE] = env.operatorResponseSec;
@@ -52,8 +61,10 @@ resolveStages(const MeasuredBehavior &mb, double mttr_sec,
         r.durSec[StageG] = env.warmupSec;
         // Warm-up after reset looks like the reconfiguration
         // transient unless phase 1 measured it directly.
-        if (r.tput[StageG] <= 0.0)
+        if (r.tput[StageG] <= 0.0) {
             r.tput[StageG] = mb.tput[StageB];
+            r.fracWithin[StageG] = r.fracWithin[StageB];
+        }
     }
     return r;
 }
@@ -81,6 +92,24 @@ PerformabilityModel::evaluate(const EnvParams &env) const
     double sum_w = 0.0;
     double degraded_tput = 0.0;
 
+    // SLO-goodput view: every registered behaviour must carry latency
+    // data, and the goodput baseline Tn_slo averages the per-behaviour
+    // normal-operation SLO fractions.
+    bool slo_valid = !entries_.empty();
+    double frac_normal_sum = 0.0;
+    for (const auto &e : entries_) {
+        if (!e.mb.latency.present)
+            slo_valid = false;
+        frac_normal_sum += e.mb.latency.fracWithinNormal;
+    }
+    double tn_slo =
+        slo_valid ? tn * frac_normal_sum /
+                        static_cast<double>(entries_.size())
+                  : 0.0;
+    if (tn_slo <= 0.0)
+        slo_valid = false;
+    double degraded_goodput = 0.0;
+
     for (const auto &e : entries_) {
         ResolvedStages rs = resolveStages(e.mb, e.fc.mttrSec, env);
         // Aggregate over all `count` components of this class.
@@ -102,6 +131,19 @@ PerformabilityModel::evaluate(const EnvParams &env) const
             deficit += rate * rs.durSec[s] *
                        std::max(0.0, tn - rs.tput[s]);
         c.unavailability = deficit / tn;
+
+        if (slo_valid) {
+            double g = 0.0;
+            double slo_deficit = 0.0;
+            for (int s = 0; s < numStages; ++s) {
+                double good = rs.tput[s] * rs.fracWithin[s];
+                g += rate * rs.durSec[s] * good;
+                slo_deficit += rate * rs.durSec[s] *
+                               std::max(0.0, tn_slo - good);
+            }
+            degraded_goodput += g;
+            c.sloUnavailability = slo_deficit / tn_slo;
+        }
         res.breakdown.push_back(std::move(c));
     }
 
@@ -111,8 +153,11 @@ PerformabilityModel::evaluate(const EnvParams &env) const
         double scale = 1.0 / sum_w;
         sum_w = 1.0;
         degraded_tput *= scale;
-        for (auto &c : res.breakdown)
+        degraded_goodput *= scale;
+        for (auto &c : res.breakdown) {
             c.unavailability *= scale;
+            c.sloUnavailability *= scale;
+        }
     }
 
     res.avgTput = (1.0 - sum_w) * tn + degraded_tput;
@@ -120,6 +165,16 @@ PerformabilityModel::evaluate(const EnvParams &env) const
     res.unavailability = 1.0 - res.availability;
     res.performability = performabilityMetric(
         tn, res.availability, env.idealAvailability);
+
+    if (slo_valid) {
+        res.sloValid = true;
+        res.sloNormalTput = tn_slo;
+        res.sloAvgTput = (1.0 - sum_w) * tn_slo + degraded_goodput;
+        res.sloAvailability = res.sloAvgTput / tn_slo;
+        res.sloUnavailability = 1.0 - res.sloAvailability;
+        res.sloPerformability = performabilityMetric(
+            tn_slo, res.sloAvailability, env.idealAvailability);
+    }
     return res;
 }
 

@@ -59,6 +59,8 @@ struct FaultContribution
     fault::FaultKind kind;
     double unavailability = 0.0; ///< contribution to (1 - AA)
     double degradedWeight = 0.0; ///< W_c (fraction of time in stages)
+    /** Contribution to (1 - AA_slo); zero without latency data. */
+    double sloUnavailability = 0.0;
 };
 
 /** Model output. */
@@ -70,6 +72,19 @@ struct PerfResult
     double unavailability = 0.0;  ///< 1 - AA
     double performability = 0.0;  ///< P
     std::vector<FaultContribution> breakdown;
+
+    /**
+     * The same metrics defined over SLO-goodput (requests served
+     * within the latency SLO) instead of raw throughput. Valid only
+     * when every registered behaviour carried latency data; the
+     * throughput metrics above are always valid.
+     */
+    bool sloValid = false;
+    double sloNormalTput = 0.0;     ///< Tn_slo = Tn * fracWithinNormal
+    double sloAvgTput = 0.0;        ///< AT_slo
+    double sloAvailability = 0.0;   ///< AA_slo
+    double sloUnavailability = 0.0; ///< 1 - AA_slo
+    double sloPerformability = 0.0; ///< P_slo
 };
 
 /** The performability metric by itself. */

@@ -48,6 +48,47 @@ stageLetter(int s)
 }
 
 /**
+ * A latency service-level objective: "quantile of end-to-end latency
+ * must stay at or below threshold" (e.g. p99 <= 500 ms).
+ */
+struct LatencySlo
+{
+    double quantile = 0.99;
+    std::uint64_t thresholdUs = 0; ///< microseconds
+
+    bool valid() const { return thresholdUs > 0; }
+};
+
+/**
+ * Latency view of one measured behaviour: what fraction of responses
+ * met the SLO threshold, per stage of the fault timeline, plus
+ * normal-operation quantiles for reports. Attached to
+ * MeasuredBehavior when phase 1 ran with latency recording; absent
+ * (present == false) rows leave the throughput-only model unchanged.
+ */
+struct LatencySummary
+{
+    bool present = false;
+
+    /** The SLO the fractions were computed against. */
+    double sloQuantile = 0.0;
+    double sloThresholdUs = 0.0;
+
+    /** Fraction of normal-operation responses within the SLO. */
+    double fracWithinNormal = 1.0;
+    /** Fraction within the SLO during each fault stage. */
+    std::array<double, numStages> fracWithin{1, 1, 1, 1, 1, 1, 1};
+
+    /** Normal-operation end-to-end quantiles (microseconds). */
+    double p50Us = 0.0;
+    double p90Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    /** End-to-end p99 during each fault stage (microseconds). */
+    std::array<double, numStages> stageP99Us{};
+};
+
+/**
  * What phase 1 measured for one (version, fault) pair.
  *
  * Durations for stages C, E, F and G are environmental and resolved
@@ -78,6 +119,9 @@ struct MeasuredBehavior
      * the cluster (stages F and G follow).
      */
     bool healed = true;
+
+    /** Latency view (only when phase 1 recorded latencies). */
+    LatencySummary latency;
 };
 
 /** Fully resolved stage durations + throughputs (phase 2). */
@@ -85,6 +129,13 @@ struct ResolvedStages
 {
     std::array<double, numStages> tput{};
     std::array<double, numStages> durSec{};
+
+    /**
+     * SLO-goodput view: fraction of each stage's served requests that
+     * met the latency SLO. tput[s] * fracWithin[s] is the stage's
+     * goodput. All ones when the behaviour carried no latency data.
+     */
+    std::array<double, numStages> fracWithin{1, 1, 1, 1, 1, 1, 1};
 
     /** Total degraded time per fault occurrence (seconds). */
     double

@@ -100,6 +100,8 @@ BehaviorDb::load(const std::string &path)
         return false;
     std::string line;
     std::getline(in, line); // header
+    // Caches written with latency recording carry extra columns.
+    bool hasLatency = line.find(",lat,") != std::string::npos;
     while (std::getline(in, line)) {
         std::istringstream ss(line);
         std::string field;
@@ -117,6 +119,21 @@ BehaviorDb::load(const std::string &path)
             mb.tput[s] = std::stod(next());
         for (int s = 0; s < model::numStages; ++s)
             mb.dur[s] = std::stod(next());
+        if (hasLatency) {
+            model::LatencySummary &ls = mb.latency;
+            ls.present = std::stoi(next()) != 0;
+            ls.sloQuantile = std::stod(next());
+            ls.sloThresholdUs = std::stod(next());
+            ls.fracWithinNormal = std::stod(next());
+            ls.p50Us = std::stod(next());
+            ls.p90Us = std::stod(next());
+            ls.p99Us = std::stod(next());
+            ls.p999Us = std::stod(next());
+            for (int s = 0; s < model::numStages; ++s)
+                ls.fracWithin[s] = std::stod(next());
+            for (int s = 0; s < model::numStages; ++s)
+                ls.stageP99Us[s] = std::stod(next());
+        }
         rows_[{static_cast<press::Version>(v),
                static_cast<fault::FaultKind>(k)}] = mb;
     }
@@ -132,11 +149,24 @@ BehaviorDb::save(const std::string &path) const
     std::ofstream out(tmp, std::ios::trunc);
     if (!out)
         return;
+    // The plain (paper) grid keeps its historical byte-identical
+    // format; latency columns appear only when some row carries them.
+    bool anyLatency = false;
+    for (const auto &[key, mb] : rows_)
+        if (mb.latency.present)
+            anyLatency = true;
     out << "version,fault,tn,detected,healed";
     for (int s = 0; s < model::numStages; ++s)
         out << ",tput" << model::stageLetter(s);
     for (int s = 0; s < model::numStages; ++s)
         out << ",dur" << model::stageLetter(s);
+    if (anyLatency) {
+        out << ",lat,sloq,slous,fracN,p50,p90,p99,p999";
+        for (int s = 0; s < model::numStages; ++s)
+            out << ",frac" << model::stageLetter(s);
+        for (int s = 0; s < model::numStages; ++s)
+            out << ",p99" << model::stageLetter(s);
+    }
     out << "\n";
     for (const auto &[key, mb] : rows_) {
         out << static_cast<int>(key.first) << ','
@@ -147,6 +177,17 @@ BehaviorDb::save(const std::string &path) const
             out << ',' << mb.tput[s];
         for (int s = 0; s < model::numStages; ++s)
             out << ',' << mb.dur[s];
+        if (anyLatency) {
+            const model::LatencySummary &ls = mb.latency;
+            out << ',' << (ls.present ? 1 : 0) << ',' << ls.sloQuantile
+                << ',' << ls.sloThresholdUs << ',' << ls.fracWithinNormal
+                << ',' << ls.p50Us << ',' << ls.p90Us << ',' << ls.p99Us
+                << ',' << ls.p999Us;
+            for (int s = 0; s < model::numStages; ++s)
+                out << ',' << ls.fracWithin[s];
+            for (int s = 0; s < model::numStages; ++s)
+                out << ',' << ls.stageP99Us[s];
+        }
         out << "\n";
     }
     out.flush();

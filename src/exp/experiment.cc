@@ -1,6 +1,7 @@
 #include "exp/experiment.hh"
 
 #include "faults/injector.hh"
+#include "loadgen/generator.hh"
 #include "sim/simulation.hh"
 
 namespace performa::exp {
@@ -48,10 +49,20 @@ ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
     sim::Simulation sim(cfg.seed);
-    press::Cluster cluster(sim, cfg.cluster);
-    wl::ClientFarm farm(sim, cluster.clientNet(),
-                        cluster.serverClientPorts(),
-                        cluster.clientMachinePorts(), cfg.workload);
+
+    press::ClusterConfig clusterCfg = cfg.cluster;
+    wl::LoadProfileSpec profile = cfg.profile;
+    if (profile.pareto.enabled)
+        clusterCfg.press.fileSizeFn = wl::makeFileSizeFn(profile.pareto);
+    if (profile.reserveSlices == 0)
+        profile.reserveSlices =
+            static_cast<std::size_t>(cfg.duration / sim::sec(1)) + 2;
+
+    press::Cluster cluster(sim, clusterCfg);
+    auto farmPtr = wl::makeLoadGenerator(
+        sim, cluster.clientNet(), cluster.serverClientPorts(),
+        cluster.clientMachinePorts(), cfg.workload, profile);
+    wl::LoadGenerator &farm = *farmPtr;
 
     ExperimentResult res;
     res.injectAt = cfg.injectAt;
@@ -118,6 +129,7 @@ runExperiment(const ExperimentConfig &cfg)
     res.served = farm.served();
     res.failed = farm.failed();
     res.offered = farm.offered();
+    res.latency = farm.stealTimeline();
 
     // Steady-state throughput just before injection (or over the
     // second half of a fault-free run).

@@ -16,8 +16,10 @@
 #include "faults/fault.hh"
 #include "net/network.hh"
 #include "press/cluster.hh"
+#include "sim/latency_histogram.hh"
 #include "sim/time_series.hh"
-#include "workload/client_farm.hh"
+#include "loadgen/client_farm.hh"
+#include "loadgen/load_profile.hh"
 
 namespace performa::exp {
 
@@ -26,6 +28,9 @@ struct ExperimentConfig
 {
     press::ClusterConfig cluster;
     wl::WorkloadConfig workload;
+    /** Workload shape; the default reproduces the paper's flat load
+     *  byte-for-byte (see loadgen/load_profile.hh). */
+    wl::LoadProfileSpec profile;
     std::optional<fault::FaultSpec> fault;
     sim::Tick injectAt = sim::sec(60);
     sim::Tick duration = sim::sec(210); ///< total run length
@@ -45,6 +50,8 @@ struct ExperimentResult
     sim::TimeSeries served{sim::sec(1)};
     sim::TimeSeries failed{sim::sec(1)};
     sim::TimeSeries offered{sim::sec(1)};
+    /** Per-stage latency histograms in per-second slices. */
+    sim::StageLatencyTimeline latency;
     MarkerLog markers;
 
     /** Mean served rate in the pre-fault steady window. */

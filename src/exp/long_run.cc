@@ -4,7 +4,7 @@
 #include "exp/stages.hh"
 #include "faults/injector.hh"
 #include "sim/simulation.hh"
-#include "workload/client_farm.hh"
+#include "loadgen/client_farm.hh"
 
 namespace performa::exp {
 

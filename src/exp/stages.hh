@@ -8,6 +8,8 @@
 #ifndef PERFORMA_EXP_STAGES_HH
 #define PERFORMA_EXP_STAGES_HH
 
+#include <optional>
+
 #include "core/seven_stage.hh"
 #include "exp/experiment.hh"
 #include "faults/fault.hh"
@@ -20,6 +22,13 @@ struct ExtractionParams
     sim::Tick reconfigTransient = sim::sec(10); ///< stage-B window
     sim::Tick recoveryTransient = sim::sec(15); ///< stage-D window
     double healedThreshold = 0.93; ///< stage E >= this fraction of Tn
+
+    /**
+     * When set, fill MeasuredBehavior::latency by slicing the
+     * experiment's latency timeline at the same stage boundaries the
+     * throughput levels are read from.
+     */
+    std::optional<model::LatencySlo> slo;
 };
 
 /**

@@ -1,22 +1,29 @@
-#include "workload/client_farm.hh"
+#include "loadgen/client_farm.hh"
 
 #include <memory>
 
 #include "press/messages.hh"
 #include "sim/logging.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 ClientFarm::ClientFarm(sim::Simulation &s, net::Network &client_net,
                        std::vector<net::PortId> server_ports,
                        std::vector<net::PortId> client_ports,
-                       WorkloadConfig cfg)
+                       WorkloadConfig cfg, LoadProfileSpec profile)
     : sim_(s), net_(client_net), serverPorts_(std::move(server_ports)),
       clientPorts_(std::move(client_ports)), cfg_(cfg),
-      zipf_(cfg.numFiles, cfg.zipfAlpha)
+      profile_(std::move(profile)), shaped_(!profile_.isDefault()),
+      splitRng_(s.splitRng(kLoadgenRngSalt)),
+      zipf_(cfg.numFiles, cfg.zipfAlpha),
+      timeline_({.sliceWidth = sim::sec(1),
+                 .reserveSlices = profile_.reserveSlices})
 {
     if (serverPorts_.empty() || clientPorts_.empty())
         FATAL("ClientFarm needs at least one server and client port");
+    served_.reserve(profile_.reserveSlices);
+    failed_.reserve(profile_.reserveSlices);
+    offered_.reserve(profile_.reserveSlices);
     for (net::PortId p : clientPorts_) {
         net_.setHandler(p,
             [this](net::Frame &&f) { onResponse(std::move(f)); });
@@ -46,10 +53,14 @@ ClientFarm::arrivalTick()
     if (!running_)
         return;
     issueRequest();
-    sim::Tick mean =
-        static_cast<sim::Tick>(1e6 / cfg_.requestRate);
+    double rate = cfg_.requestRate;
+    if (shaped_)
+        rate *= rateMultiplierAt(profile_, sim_.now());
+    if (rate <= 0.0)
+        rate = 1.0; // idle trough: crawl until the curve comes back
+    sim::Tick mean = static_cast<sim::Tick>(1e6 / rate);
     std::uint64_t gen = generation_;
-    sim_.scheduleIn(sim_.rng().exponential(mean), [this, gen] {
+    sim_.scheduleIn(genRng().exponential(mean), [this, gen] {
         if (gen == generation_)
             arrivalTick();
     });
@@ -60,7 +71,7 @@ ClientFarm::issueRequest()
 {
     sim::RequestId id = nextReq_++;
     sim::FileId file =
-        static_cast<sim::FileId>(zipf_.sample(sim_.rng()));
+        static_cast<sim::FileId>(zipf_.sample(genRng()));
 
     // Round-robin DNS: clients keep hitting a node's address whether
     // or not the node is up.
@@ -77,6 +88,7 @@ ClientFarm::issueRequest()
     body->req = id;
     body->file = file;
     body->replyPort = client;
+    body->sentAt = sim_.now();
 
     net::Frame f;
     f.srcPort = client;
@@ -103,6 +115,7 @@ ClientFarm::onResponse(net::Frame &&f)
     if (it == pending_.end())
         return; // already expired: the client hung up long ago
     latency_.add(static_cast<double>(sim_.now() - it->second.sentAt));
+    recordResponseLatency(timeline_, sim_.now(), *body);
     pending_.erase(it);
     ++totalServed_;
     served_.record(sim_.now());
@@ -119,4 +132,4 @@ ClientFarm::expire(sim::RequestId id)
     failed_.record(sim_.now());
 }
 
-} // namespace performa::wl
+} // namespace performa::loadgen

@@ -5,24 +5,34 @@
  * the paper's request timeouts (2 s to connect, 6 s to complete).
  * Successes and failures are recorded into per-second time series —
  * the raw material of the paper's throughput plots and of the
- * availability metric (fraction of requests served successfully).
+ * availability metric (fraction of requests served successfully) —
+ * and every served request's stamped per-stage latency goes into a
+ * StageLatencyTimeline.
+ *
+ * A LoadProfileSpec can modulate the offered rate (diurnal curves,
+ * flash crowds); profile-driven draws come from a split RNG stream,
+ * so the default profile reproduces the historical draw sequence
+ * exactly.
  */
 
-#ifndef PERFORMA_WORKLOAD_CLIENT_FARM_HH
-#define PERFORMA_WORKLOAD_CLIENT_FARM_HH
+#ifndef PERFORMA_LOADGEN_CLIENT_FARM_HH
+#define PERFORMA_LOADGEN_CLIENT_FARM_HH
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "loadgen/generator.hh"
+#include "loadgen/load_profile.hh"
 #include "net/network.hh"
+#include "sim/latency_histogram.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/time_series.hh"
 #include "sim/types.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 /** Workload parameters. */
 struct WorkloadConfig
@@ -39,26 +49,27 @@ struct WorkloadConfig
  * Drives the cluster through the client network. One instance models
  * the whole set of client machines.
  */
-class ClientFarm
+class ClientFarm : public LoadGenerator
 {
   public:
     ClientFarm(sim::Simulation &s, net::Network &client_net,
                std::vector<net::PortId> server_ports,
-               std::vector<net::PortId> client_ports, WorkloadConfig cfg);
+               std::vector<net::PortId> client_ports, WorkloadConfig cfg,
+               LoadProfileSpec profile = {});
 
     /** Begin generating requests (runs until stop()). */
-    void start();
+    void start() override;
 
     /** Stop generating new requests. */
-    void stop();
+    void stop() override;
 
-    const sim::TimeSeries &served() const { return served_; }
-    const sim::TimeSeries &failed() const { return failed_; }
-    const sim::TimeSeries &offered() const { return offered_; }
+    const sim::TimeSeries &served() const override { return served_; }
+    const sim::TimeSeries &failed() const override { return failed_; }
+    const sim::TimeSeries &offered() const override { return offered_; }
 
-    std::uint64_t totalServed() const { return totalServed_; }
-    std::uint64_t totalFailed() const { return totalFailed_; }
-    std::uint64_t totalOffered() const { return totalOffered_; }
+    std::uint64_t totalServed() const override { return totalServed_; }
+    std::uint64_t totalFailed() const override { return totalFailed_; }
+    std::uint64_t totalOffered() const override { return totalOffered_; }
 
     /** In-flight (not yet answered or timed out) request count. */
     std::size_t pendingCount() const { return pending_.size(); }
@@ -66,7 +77,21 @@ class ClientFarm
     /** Response-time statistics of served requests (microseconds). */
     const sim::OnlineStats &latency() const { return latency_; }
 
+    /** Per-stage (connect/queue/service/total) latency histograms,
+     *  one slice per second. */
+    const sim::StageLatencyTimeline &
+    timeline() const override
+    {
+        return timeline_;
+    }
+    sim::StageLatencyTimeline
+    stealTimeline() override
+    {
+        return std::move(timeline_);
+    }
+
     const WorkloadConfig &config() const { return cfg_; }
+    const LoadProfileSpec &profile() const { return profile_; }
     const sim::ZipfSampler &popularity() const { return zipf_; }
 
   private:
@@ -80,11 +105,18 @@ class ClientFarm
     void onResponse(net::Frame &&f);
     void expire(sim::RequestId id);
 
+    /** Profile draws come from the split stream; the default profile
+     *  keeps drawing from the shared, historical stream. */
+    sim::Rng &genRng() { return shaped_ ? splitRng_ : sim_.rng(); }
+
     sim::Simulation &sim_;
     net::Network &net_;
     std::vector<net::PortId> serverPorts_;
     std::vector<net::PortId> clientPorts_;
     WorkloadConfig cfg_;
+    LoadProfileSpec profile_;
+    bool shaped_; ///< profile_ modulates this farm
+    sim::Rng splitRng_;
     sim::ZipfSampler zipf_;
 
     bool running_ = false;
@@ -99,11 +131,17 @@ class ClientFarm
     sim::TimeSeries failed_;
     sim::TimeSeries offered_;
     sim::OnlineStats latency_;
+    sim::StageLatencyTimeline timeline_;
     std::uint64_t totalServed_ = 0;
     std::uint64_t totalFailed_ = 0;
     std::uint64_t totalOffered_ = 0;
 };
 
-} // namespace performa::wl
+} // namespace performa::loadgen
 
-#endif // PERFORMA_WORKLOAD_CLIENT_FARM_HH
+namespace performa {
+/** Legacy alias: the workload subsystem grew into loadgen. */
+namespace wl = loadgen;
+} // namespace performa
+
+#endif // PERFORMA_LOADGEN_CLIENT_FARM_HH

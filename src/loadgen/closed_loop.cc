@@ -1,11 +1,11 @@
-#include "workload/closed_loop.hh"
+#include "loadgen/closed_loop.hh"
 
 #include <memory>
 
 #include "press/messages.hh"
 #include "sim/logging.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 ClosedLoopFarm::ClosedLoopFarm(sim::Simulation &s,
                                net::Network &client_net,
@@ -130,4 +130,4 @@ ClosedLoopFarm::expire(sim::RequestId id)
         think(user); // give up and retry something else
 }
 
-} // namespace performa::wl
+} // namespace performa::loadgen

@@ -9,8 +9,8 @@
  * for session-oriented traffic.
  */
 
-#ifndef PERFORMA_WORKLOAD_CLOSED_LOOP_HH
-#define PERFORMA_WORKLOAD_CLOSED_LOOP_HH
+#ifndef PERFORMA_LOADGEN_CLOSED_LOOP_HH
+#define PERFORMA_LOADGEN_CLOSED_LOOP_HH
 
 #include <cstdint>
 #include <unordered_map>
@@ -23,7 +23,7 @@
 #include "sim/time_series.hh"
 #include "sim/types.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 /** Closed-loop population parameters. */
 struct ClosedLoopConfig
@@ -107,6 +107,11 @@ class ClosedLoopFarm
     std::uint64_t totalAbandoned_ = 0;
 };
 
-} // namespace performa::wl
+} // namespace performa::loadgen
 
-#endif // PERFORMA_WORKLOAD_CLOSED_LOOP_HH
+namespace performa {
+/** Legacy alias: the workload subsystem grew into loadgen. */
+namespace wl = loadgen;
+} // namespace performa
+
+#endif // PERFORMA_LOADGEN_CLOSED_LOOP_HH

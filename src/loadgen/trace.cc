@@ -1,12 +1,12 @@
-#include "workload/trace.hh"
+#include "loadgen/trace.hh"
 
 #include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
-#include "workload/client_farm.hh"
+#include "loadgen/client_farm.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 SyntheticTrace
 SyntheticTrace::generate(const TraceParams &params, std::uint64_t seed)
@@ -78,4 +78,4 @@ applyFileSet(const FlatFileSet &fs, press::ClusterConfig &cluster,
     workload.zipfAlpha = fs.zipfAlpha;
 }
 
-} // namespace performa::wl
+} // namespace performa::loadgen

@@ -12,8 +12,8 @@
  * The flattened set is what the ClientFarm drives.
  */
 
-#ifndef PERFORMA_WORKLOAD_TRACE_HH
-#define PERFORMA_WORKLOAD_TRACE_HH
+#ifndef PERFORMA_LOADGEN_TRACE_HH
+#define PERFORMA_LOADGEN_TRACE_HH
 
 #include <cstdint>
 #include <vector>
@@ -22,7 +22,7 @@
 #include "sim/random.hh"
 #include "sim/types.hh"
 
-namespace performa::wl {
+namespace performa::loadgen {
 
 struct WorkloadConfig;
 
@@ -94,6 +94,11 @@ class SyntheticTrace
 void applyFileSet(const FlatFileSet &fs, press::ClusterConfig &cluster,
                   struct WorkloadConfig &workload);
 
-} // namespace performa::wl
+} // namespace performa::loadgen
 
-#endif // PERFORMA_WORKLOAD_TRACE_HH
+namespace performa {
+/** Legacy alias: the workload subsystem grew into loadgen. */
+namespace wl = loadgen;
+} // namespace performa
+
+#endif // PERFORMA_LOADGEN_TRACE_HH

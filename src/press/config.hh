@@ -10,6 +10,7 @@
 #define PERFORMA_PRESS_CONFIG_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "proto/tcp.hh"
@@ -74,6 +75,21 @@ struct PressConfig
 
     std::uint64_t cacheBytes = 128ull << 20; ///< per-node file cache
     std::uint64_t fileBytes = 8192;          ///< uniform file size
+
+    /**
+     * Optional per-file size override (heavy-tailed file sets from
+     * the loadgen profiles). Serving costs — disk reads, transfer
+     * bytes, send CPU — use sizeOf(); cache capacity stays accounted
+     * in mean-size (fileBytes) units, so the default uniform set is
+     * bit-identical to the historical behaviour.
+     */
+    std::function<std::uint64_t(sim::FileId)> fileSizeFn;
+
+    std::uint64_t
+    sizeOf(sim::FileId f) const
+    {
+        return fileSizeFn ? fileSizeFn(f) : fileBytes;
+    }
 
     PressCosts costs;
 

@@ -231,6 +231,7 @@ Server::onClientFrame(net::Frame &&f)
     ++outstanding_;
     ++stats_.accepted;
     ClientRequestBody req = *f.payload.get<ClientRequestBody>();
+    req.acceptedAt = node_.simulation().now();
     mainExec(cfg_.costs.acceptParse + cfg_.costs.clientConn,
              [this, req] { dispatch(req); });
 }
@@ -282,10 +283,12 @@ void
 Server::serveFromCache(const ClientRequestBody &req)
 {
     cache_->touch(req.file);
-    std::uint64_t resp = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+    sim::Tick svc = node_.simulation().now();
+    std::uint64_t resp = cfg_.sizeOf(req.file) + cfg_.fileRespOverheadBytes;
     mainExec(cfg_.costs.cacheRead + clientSendCost(cfg_.costs, resp),
-        [this, req] {
-            respondToClient(req.req, req.replyPort);
+        [this, req, svc] {
+            respondToClient(req.req, req.replyPort, req.file,
+                            req.sentAt, req.acceptedAt, svc);
             finishRequest();
         });
 }
@@ -294,15 +297,18 @@ void
 Server::serveFromDisk(const ClientRequestBody &req)
 {
     std::uint64_t e = epoch_;
-    disk_->read(cfg_.fileBytes, [this, e, req] {
+    sim::Tick svc = node_.simulation().now();
+    disk_->read(cfg_.sizeOf(req.file), [this, e, req, svc] {
         if (e != epoch_ || !alive_)
             return;
-        std::uint64_t resp = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+        std::uint64_t resp =
+            cfg_.sizeOf(req.file) + cfg_.fileRespOverheadBytes;
         mainExec(cfg_.costs.diskReadCpu + cfg_.costs.cacheRead +
                  clientSendCost(cfg_.costs, resp),
-            [this, req] {
+            [this, req, svc] {
                 cacheInsert(req.file);
-                respondToClient(req.req, req.replyPort);
+                respondToClient(req.req, req.replyPort, req.file,
+                                req.sentAt, req.acceptedAt, svc);
                 finishRequest();
             });
     });
@@ -317,6 +323,8 @@ Server::forwardRequest(const ClientRequestBody &req, sim::NodeId target)
     p.target = target;
     p.sentAt = node_.simulation().now();
     p.req = req.req;
+    p.reqSentAt = req.sentAt;
+    p.reqAcceptedAt = req.acceptedAt;
     pendingFwd_[req.req] = p;
 
     FwdRequestBody body;
@@ -338,16 +346,21 @@ Server::forwardRequest(const ClientRequestBody &req, sim::NodeId target)
 }
 
 void
-Server::respondToClient(sim::RequestId req, std::uint32_t reply_port)
+Server::respondToClient(sim::RequestId req, std::uint32_t reply_port,
+                        sim::FileId file, sim::Tick sent_at,
+                        sim::Tick accepted_at, sim::Tick service_start)
 {
     net::Frame f;
     f.srcPort = node_.clientPort();
     f.dstPort = reply_port;
     f.proto = net::Proto::Client;
     f.kind = ClientResponse;
-    f.bytes = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+    f.bytes = cfg_.sizeOf(file) + cfg_.fileRespOverheadBytes;
     auto body = node_.simulation().makePayload<ClientResponseBody>();
     body->req = req;
+    body->sentAt = sent_at;
+    body->acceptedAt = accepted_at;
+    body->serviceStartAt = service_start;
     f.payload = std::move(body);
     node_.clientNet().send(std::move(f));
     ++stats_.responses;
@@ -427,14 +440,16 @@ Server::onMessage(sim::NodeId peer, proto::AppMessage &&msg)
 void
 Server::handleFwdRequest(sim::NodeId peer, const FwdRequestBody &body)
 {
+    sim::Tick svc = node_.simulation().now();
     if (cache_->contains(body.file)) {
         ++stats_.fwdServed;
         cache_->touch(body.file);
-        std::uint64_t data = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+        std::uint64_t data =
+            cfg_.sizeOf(body.file) + cfg_.fileRespOverheadBytes;
         FwdRequestBody b = body;
         mainExec(cfg_.costs.cacheRead + comm_->sendCost(data),
-            [this, b] {
-                sendFileData(b.initial, b.req, b.file, b.clientPort);
+            [this, b, svc] {
+                sendFileData(b.initial, b.req, b.file, b.clientPort, svc);
             });
         (void)peer;
         return;
@@ -445,31 +460,34 @@ Server::handleFwdRequest(sim::NodeId peer, const FwdRequestBody &body)
     ++stats_.fwdMisses;
     std::uint64_t e = epoch_;
     FwdRequestBody b = body;
-    disk_->read(cfg_.fileBytes, [this, e, b] {
+    disk_->read(cfg_.sizeOf(body.file), [this, e, b, svc] {
         if (e != epoch_ || !alive_)
             return;
-        std::uint64_t data = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+        std::uint64_t data =
+            cfg_.sizeOf(b.file) + cfg_.fileRespOverheadBytes;
         mainExec(cfg_.costs.diskReadCpu + comm_->sendCost(data),
-            [this, b] {
+            [this, b, svc] {
                 cacheInsert(b.file);
-                sendFileData(b.initial, b.req, b.file, b.clientPort);
+                sendFileData(b.initial, b.req, b.file, b.clientPort, svc);
             });
     });
 }
 
 void
 Server::sendFileData(sim::NodeId initial, sim::RequestId req,
-                     sim::FileId file, std::uint32_t client_port)
+                     sim::FileId file, std::uint32_t client_port,
+                     sim::Tick service_start)
 {
     FileDataBody body;
     body.senderLoad = static_cast<std::uint32_t>(outstanding_);
     body.req = req;
     body.file = file;
     body.clientPort = client_port;
+    body.serviceStartAt = service_start;
 
     proto::AppMessage m;
     m.type = MsgFileData;
-    m.bytes = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+    m.bytes = cfg_.sizeOf(file) + cfg_.fileRespOverheadBytes;
     m.body = node_.simulation().makePayload<FileDataBody>(body);
     sendOrQueue(initial, std::move(m));
 }
@@ -481,14 +499,19 @@ Server::handleFileData(const FileDataBody &body)
     if (it == pendingFwd_.end())
         return; // request was re-dispatched or swept; ignore late data
     std::uint32_t port = it->second.clientPort;
+    sim::Tick sent = it->second.reqSentAt;
+    sim::Tick acc = it->second.reqAcceptedAt;
     pendingFwd_.erase(it);
 
-    std::uint64_t resp = cfg_.fileBytes + cfg_.fileRespOverheadBytes;
+    std::uint64_t resp = cfg_.sizeOf(body.file) + cfg_.fileRespOverheadBytes;
     sim::RequestId req = body.req;
-    mainExec(clientSendCost(cfg_.costs, resp), [this, req, port] {
-        respondToClient(req, port);
-        finishRequest();
-    });
+    sim::FileId file = body.file;
+    sim::Tick svc = body.serviceStartAt;
+    mainExec(clientSendCost(cfg_.costs, resp),
+        [this, req, port, file, sent, acc, svc] {
+            respondToClient(req, port, file, sent, acc, svc);
+            finishRequest();
+        });
 }
 
 // ---------------------------------------------------------------------
@@ -544,6 +567,8 @@ Server::excludeNode(sim::NodeId failed)
         req.req = p.req;
         req.file = p.file;
         req.replyPort = p.clientPort;
+        req.sentAt = p.reqSentAt;
+        req.acceptedAt = p.reqAcceptedAt;
         mainExec(sim::usec(5), [this, req] { dispatch(req); });
     }
 

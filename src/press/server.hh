@@ -132,7 +132,9 @@ class Server : public osim::Service
     void serveFromCache(const ClientRequestBody &req);
     void serveFromDisk(const ClientRequestBody &req);
     void forwardRequest(const ClientRequestBody &req, sim::NodeId target);
-    void respondToClient(sim::RequestId req, std::uint32_t reply_port);
+    void respondToClient(sim::RequestId req, std::uint32_t reply_port,
+                         sim::FileId file, sim::Tick sent_at,
+                         sim::Tick accepted_at, sim::Tick service_start);
     void finishRequest();
 
     // -- intra-cluster messages -----------------------------------------
@@ -140,7 +142,8 @@ class Server : public osim::Service
     void handleFwdRequest(sim::NodeId peer, const FwdRequestBody &body);
     void handleFileData(const FileDataBody &body);
     void sendFileData(sim::NodeId initial, sim::RequestId req,
-                      sim::FileId file, std::uint32_t client_port);
+                      sim::FileId file, std::uint32_t client_port,
+                      sim::Tick service_start);
 
     // -- membership / reconfiguration ----------------------------------
     void onPeerConnected(sim::NodeId peer);
@@ -232,6 +235,10 @@ class Server : public osim::Service
         sim::NodeId target;
         sim::Tick sentAt;
         sim::RequestId req;
+        // Client latency stamps, preserved across the forward hop
+        // (and across a re-dispatch when the target node dies).
+        sim::Tick reqSentAt = 0;
+        sim::Tick reqAcceptedAt = 0;
     };
     std::unordered_map<sim::RequestId, PendingFwd> pendingFwd_;
     std::size_t outstanding_ = 0;

@@ -8,13 +8,65 @@
 #ifndef PERFORMA_SIM_RANDOM_HH
 #define PERFORMA_SIM_RANDOM_HH
 
+#include <bit>
 #include <cstdint>
+#include <initializer_list>
 #include <random>
+#include <string_view>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace performa::sim {
+
+/**
+ * splitmix64 finalizer: a fast, well-distributed 64-bit mixing
+ * function (Steele et al., "Fast splittable pseudorandom number
+ * generators"). The combining step of all seed derivation — campaign
+ * per-job seeds and split RNG streams alike.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive one seed from a root seed plus any number of integer
+ * identity components (version, fault kind, stream salt, ...).
+ * Order-sensitive: (a, b) and (b, a) give different seeds. Never
+ * returns 0 so the result is safe for engines that reject a zero
+ * seed.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t root_seed,
+           std::initializer_list<std::uint64_t> components)
+{
+    std::uint64_t h = mix64(root_seed);
+    for (std::uint64_t c : components)
+        h = mix64(h ^ mix64(c));
+    return h ? h : 0x9e3779b97f4a7c15ull;
+}
+
+/** Hash a string identity component (e.g. a load-profile name). */
+constexpr std::uint64_t
+seedComponent(std::string_view s)
+{
+    std::uint64_t h = 0x243f6a8885a308d3ull; // pi, nothing up the sleeve
+    for (char c : s)
+        h = mix64(h ^ static_cast<unsigned char>(c));
+    return h;
+}
+
+/** Hash a double identity component (e.g. a load-scale axis) by bits. */
+inline std::uint64_t
+seedComponent(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
 
 /**
  * A seeded pseudo-random source. One Rng per simulation keeps runs

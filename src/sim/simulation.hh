@@ -28,7 +28,9 @@ namespace performa::sim {
 class Simulation
 {
   public:
-    explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+    explicit Simulation(std::uint64_t seed = 1)
+        : rng_(seed), seed_(seed)
+    {}
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
@@ -36,6 +38,22 @@ class Simulation
     EventQueue &events() { return events_; }
     Rng &rng() { return rng_; }
     PayloadPool &pool() { return pool_; }
+
+    /** The seed this world was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * A fresh Rng on an independent stream derived from this world's
+     * seed and @p salt. Components with their own randomness (the
+     * load-profile generators) draw from a split stream instead of
+     * the shared rng(), so enabling them cannot perturb the draw
+     * sequence — and therefore the results — of everything else.
+     */
+    Rng
+    splitRng(std::uint64_t salt) const
+    {
+        return Rng(deriveSeed(seed_, {salt}));
+    }
 
     /** Allocate a pooled message payload (see sim/pool.hh). */
     template <typename T, typename... Args>
@@ -78,6 +96,7 @@ class Simulation
     PayloadPool pool_;
     EventQueue events_;
     Rng rng_;
+    std::uint64_t seed_ = 1;
     std::uint64_t nextId_ = 1;
 };
 

@@ -37,6 +37,12 @@ class TimeSeries
         buckets_[idx] += count;
     }
 
+    /**
+     * Pre-allocate capacity for @p buckets buckets so recording stays
+     * allocation-free until time passes the reservation.
+     */
+    void reserve(std::size_t buckets) { buckets_.reserve(buckets); }
+
     /** Number of buckets touched so far. */
     std::size_t size() const { return buckets_.size(); }
 

@@ -7,7 +7,7 @@
 
 #include "press/messages.hh"
 #include "sim/simulation.hh"
-#include "workload/closed_loop.hh"
+#include "loadgen/closed_loop.hh"
 
 using namespace performa;
 using namespace performa::sim;

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the log-linear latency histogram and the per-stage
+ * slice timeline: empty-histogram semantics, bucket boundaries,
+ * relative quantile error, merge associativity, overflow saturation,
+ * and window slicing against wall-clock boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/latency_histogram.hh"
+
+using namespace performa::sim;
+
+TEST(LatencyHistogram, EmptyHistogramHasNaNQuantiles)
+{
+    LatencyHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+    EXPECT_EQ(h.countAtOrBelow(msec(100)), 0u);
+    // An empty window carries no evidence of an SLO violation.
+    EXPECT_DOUBLE_EQ(h.fractionAtOrBelow(msec(100)), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, LinearRegionIsExact)
+{
+    LatencyHistogram h;
+    // Below 2^subBucketBits every value has its own bucket.
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.countAtOrBelow(31), 32u);
+    EXPECT_EQ(h.countAtOrBelow(63), 64u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 31.0);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorIsBounded)
+{
+    LatencyHistogram h;
+    const double maxRel = std::ldexp(1.0, 1 - 6); // 2^(1-S) = 3.125%
+    for (std::uint64_t v : {100ull, 1000ull, 12345ull, 999999ull,
+                            5000000ull, 30000000ull}) {
+        h.clear();
+        h.record(v);
+        double q = h.quantile(1.0);
+        EXPECT_GE(q, static_cast<double>(v));
+        EXPECT_LE(q, static_cast<double>(v) * (1.0 + maxRel))
+            << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, QuantileClampsToMaxRecorded)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    // The bucket's upper bound is >= 1000; the quantile must not
+    // exceed the largest sample actually seen.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1000.0);
+}
+
+TEST(LatencyHistogram, CountAtOrBelowIsBucketGranular)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(msec(1));
+    h.record(msec(100));
+    EXPECT_EQ(h.countAtOrBelow(10), 1u);
+    EXPECT_EQ(h.countAtOrBelow(msec(2)), 2u);
+    EXPECT_EQ(h.countAtOrBelow(sec(1)), 3u);
+    EXPECT_DOUBLE_EQ(h.fractionAtOrBelow(msec(2)), 2.0 / 3.0);
+}
+
+TEST(LatencyHistogram, OverflowSaturatesAtMaxValue)
+{
+    LatencyHistogramConfig cfg;
+    cfg.maxValue = sec(1);
+    LatencyHistogram h(cfg);
+    h.record(sec(5));
+    h.record(sec(500));
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.maxRecorded(), sec(500));
+    // Overflowed samples only count as within-bound at the recorded
+    // maximum and above.
+    EXPECT_EQ(h.countAtOrBelow(sec(2)), 0u);
+    EXPECT_EQ(h.countAtOrBelow(sec(500)), 2u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(sec(500)));
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative)
+{
+    auto make = [](std::initializer_list<std::uint64_t> vals) {
+        LatencyHistogram h;
+        for (std::uint64_t v : vals)
+            h.record(v);
+        return h;
+    };
+    LatencyHistogram a = make({10, 200, msec(3)});
+    LatencyHistogram b = make({55, msec(40)});
+    LatencyHistogram c = make({msec(900), sec(2)});
+
+    LatencyHistogram ab = a;
+    ab.merge(b);
+    LatencyHistogram ab_c = ab;
+    ab_c.merge(c);
+
+    LatencyHistogram bc = b;
+    bc.merge(c);
+    LatencyHistogram a_bc = a;
+    a_bc.merge(bc);
+
+    LatencyHistogram ba = b;
+    ba.merge(a);
+
+    EXPECT_EQ(ab_c.count(), a_bc.count());
+    EXPECT_EQ(ab_c.maxRecorded(), a_bc.maxRecorded());
+    EXPECT_DOUBLE_EQ(ab_c.mean(), a_bc.mean());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(ab_c.quantile(q), a_bc.quantile(q));
+    EXPECT_DOUBLE_EQ(ab.quantile(0.5), ba.quantile(0.5));
+}
+
+TEST(LatencyHistogram, WeightedRecordMatchesRepeatedRecord)
+{
+    LatencyHistogram a, b;
+    a.record(msec(7), 10);
+    for (int i = 0; i < 10; ++i)
+        b.record(msec(7));
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(LatencyHistogram, ClearResetsEverything)
+{
+    LatencyHistogram h;
+    h.record(msec(5));
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_EQ(h.maxRecorded(), 0u);
+}
+
+TEST(StageLatencyTimeline, RecordsIntoCumulativeAndSlices)
+{
+    StageLatencyTimeline tl;
+    tl.record(LatencyStage::Total, sec(1), msec(10));
+    tl.record(LatencyStage::Total, sec(5), msec(50));
+    tl.record(LatencyStage::Connect, sec(1), msec(1));
+
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(), 2u);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Connect).count(), 1u);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Queue).count(), 0u);
+}
+
+TEST(StageLatencyTimeline, WindowSelectsOverlappingSlices)
+{
+    StageLatencyTimeline tl;
+    tl.record(LatencyStage::Total, sec(1), msec(10));
+    tl.record(LatencyStage::Total, sec(5), msec(50));
+    tl.record(LatencyStage::Total, sec(9), msec(90));
+
+    LatencyHistogram w = tl.window(LatencyStage::Total, sec(4), sec(6));
+    EXPECT_EQ(w.count(), 1u);
+    EXPECT_DOUBLE_EQ(w.quantile(1.0), static_cast<double>(msec(50)));
+
+    LatencyHistogram all =
+        tl.window(LatencyStage::Total, 0, sec(100));
+    EXPECT_EQ(all.count(), 3u);
+
+    LatencyHistogram none =
+        tl.window(LatencyStage::Total, sec(2), sec(2));
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(StageLatencyTimeline, ReservedSlicesCoverRecording)
+{
+    StageLatencyTimeline::Config cfg;
+    cfg.reserveSlices = 20;
+    StageLatencyTimeline tl(cfg);
+    EXPECT_EQ(tl.sliceCount(), 20u);
+    tl.record(LatencyStage::Service, sec(19), msec(3));
+    EXPECT_EQ(tl.sliceCount(), 20u); // no growth needed
+    tl.record(LatencyStage::Service, sec(25), msec(4));
+    EXPECT_GE(tl.sliceCount(), 26u); // grew past the reservation
+    EXPECT_EQ(tl.cumulative(LatencyStage::Service).count(), 2u);
+}

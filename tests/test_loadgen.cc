@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the loadgen subsystem: the profile registry, rate
+ * modulation, Pareto file sizes, the split RNG stream contract, the
+ * session farm, and latency-stamp recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "loadgen/client_farm.hh"
+#include "loadgen/generator.hh"
+#include "loadgen/load_profile.hh"
+#include "loadgen/session_farm.hh"
+#include "press/messages.hh"
+#include "sim/simulation.hh"
+
+using namespace performa;
+using namespace performa::sim;
+
+namespace {
+
+/** A bare network with scripted "server" ports that echo latency
+ *  stamps like the PRESS server does. */
+struct StampWorld
+{
+    Simulation s{3};
+    net::Network n{s};
+    std::vector<net::PortId> servers;
+    std::vector<net::PortId> clients;
+    std::map<net::PortId, int> requestsPerServer;
+    bool respond = true;
+    Tick serviceDelay = usec(500);
+
+    StampWorld()
+    {
+        for (int i = 0; i < 4; ++i) {
+            net::PortId p = n.addPort();
+            servers.push_back(p);
+            n.setHandler(p, [this, p](net::Frame &&f) {
+                ++requestsPerServer[p];
+                if (!respond)
+                    return;
+                auto *req = f.payload.get<press::ClientRequestBody>();
+                net::Frame r;
+                r.srcPort = p;
+                r.dstPort = req->replyPort;
+                r.proto = net::Proto::Client;
+                r.kind = press::ClientResponse;
+                r.bytes = 8192;
+                auto body = s.makePayload<press::ClientResponseBody>();
+                body->req = req->req;
+                body->sentAt = req->sentAt;
+                body->acceptedAt = s.now();
+                body->serviceStartAt = s.now() + serviceDelay;
+                r.payload = std::move(body);
+                n.send(std::move(r));
+            });
+        }
+        for (int i = 0; i < 2; ++i)
+            clients.push_back(n.addPort());
+    }
+};
+
+wl::WorkloadConfig
+smallConfig()
+{
+    wl::WorkloadConfig cfg;
+    cfg.requestRate = 500;
+    cfg.numFiles = 1000;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------
+
+TEST(LoadProfile, RegistryKnowsTheBuiltins)
+{
+    for (const char *name :
+         {"steady", "sessions", "pareto", "diurnal", "flashcrowd"}) {
+        auto p = wl::profileByName(name);
+        ASSERT_TRUE(p.has_value()) << name;
+        EXPECT_EQ(p->name, name);
+    }
+    EXPECT_FALSE(wl::profileByName("nosuch").has_value());
+    EXPECT_TRUE(wl::profileByName("steady")->isDefault());
+    EXPECT_FALSE(wl::profileByName("flashcrowd")->isDefault());
+    EXPECT_TRUE(wl::profileByName("sessions")->sessions);
+    EXPECT_TRUE(wl::profileByName("pareto")->pareto.enabled);
+}
+
+TEST(LoadProfile, FlashCrowdRampHoldAndDecay)
+{
+    wl::LoadProfileSpec p;
+    p.rateScale = 1.0;
+    p.flash.at = sec(100);
+    p.flash.ramp = sec(10);
+    p.flash.hold = sec(30);
+    p.flash.peak = 3.0;
+
+    EXPECT_DOUBLE_EQ(wl::rateMultiplierAt(p, sec(50)), 1.0);
+    // Halfway up the ramp: 1 + (3-1)/2.
+    EXPECT_NEAR(wl::rateMultiplierAt(p, sec(105)), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(wl::rateMultiplierAt(p, sec(120)), 3.0);
+    // Halfway down the back ramp.
+    EXPECT_NEAR(wl::rateMultiplierAt(p, sec(145)), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(wl::rateMultiplierAt(p, sec(200)), 1.0);
+}
+
+TEST(LoadProfile, DiurnalOscillatesAroundBase)
+{
+    wl::LoadProfileSpec p;
+    p.diurnal.period = sec(100);
+    p.diurnal.amplitude = 0.5;
+
+    double lo = 10, hi = 0, sum = 0;
+    int nsamples = 100;
+    for (int i = 0; i < nsamples; ++i) {
+        double m = wl::rateMultiplierAt(p, sec(i));
+        lo = std::min(lo, m);
+        hi = std::max(hi, m);
+        sum += m;
+    }
+    EXPECT_NEAR(lo, 0.5, 0.05);
+    EXPECT_NEAR(hi, 1.5, 0.05);
+    EXPECT_NEAR(sum / nsamples, 1.0, 0.05);
+}
+
+TEST(LoadProfile, ParetoSizesDeterministicHeavyTailedClamped)
+{
+    wl::ParetoSizes spec;
+    spec.enabled = true;
+
+    // A property of the file set: independent of any RNG.
+    EXPECT_EQ(wl::paretoFileBytes(spec, 17),
+              wl::paretoFileBytes(spec, 17));
+
+    double sum = 0;
+    std::uint64_t maxSeen = 0;
+    const int n = 20000;
+    for (int f = 0; f < n; ++f) {
+        std::uint64_t b = wl::paretoFileBytes(spec, f);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, spec.maxBytes);
+        sum += static_cast<double>(b);
+        maxSeen = std::max(maxSeen, b);
+    }
+    // Mean lands near the target (clipping pulls it slightly down).
+    EXPECT_NEAR(sum / n, static_cast<double>(spec.meanBytes),
+                0.25 * static_cast<double>(spec.meanBytes));
+    // Heavy tail: some file is far beyond the mean.
+    EXPECT_GT(maxSeen, 10 * spec.meanBytes);
+
+    auto fn = wl::makeFileSizeFn(spec);
+    ASSERT_TRUE(fn);
+    EXPECT_EQ(fn(99), wl::paretoFileBytes(spec, 99));
+    EXPECT_FALSE(wl::makeFileSizeFn(wl::ParetoSizes{}));
+}
+
+// ---------------------------------------------------------------------
+// Split RNG contract
+// ---------------------------------------------------------------------
+
+TEST(SplitRng, SplitStreamDoesNotPerturbTheSharedStream)
+{
+    Simulation a(99), b(99);
+
+    // b creates and drains a split stream; a never does.
+    Rng split = b.splitRng(wl::kLoadgenRngSalt);
+    for (int i = 0; i < 1000; ++i)
+        (void)split.uniform();
+
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+}
+
+TEST(SplitRng, DistinctSaltsGiveDistinctStreams)
+{
+    Simulation s(99);
+    Rng r1 = s.splitRng(1), r2 = s.splitRng(2), r1b = s.splitRng(1);
+    bool anyDiff = false;
+    for (int i = 0; i < 32; ++i) {
+        std::uint64_t a = r1.uniformInt(0, 1u << 30);
+        std::uint64_t b = r2.uniformInt(0, 1u << 30);
+        EXPECT_EQ(a, r1b.uniformInt(0, 1u << 30)); // same salt reproduces
+        anyDiff = anyDiff || a != b;
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+// ---------------------------------------------------------------------
+// Latency stamp decoding
+// ---------------------------------------------------------------------
+
+TEST(RecordResponseLatency, SplitsStagesFromStamps)
+{
+    StageLatencyTimeline tl;
+    press::ClientResponseBody body;
+    body.sentAt = msec(100);
+    body.acceptedAt = msec(102);
+    body.serviceStartAt = msec(110);
+    Tick now = msec(125);
+
+    wl::recordResponseLatency(tl, now, body);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(), 1u);
+    EXPECT_DOUBLE_EQ(tl.cumulative(LatencyStage::Total).quantile(1.0),
+                     static_cast<double>(msec(25)));
+    EXPECT_DOUBLE_EQ(
+        tl.cumulative(LatencyStage::Connect).quantile(1.0),
+        static_cast<double>(msec(2)));
+    EXPECT_DOUBLE_EQ(tl.cumulative(LatencyStage::Queue).quantile(1.0),
+                     static_cast<double>(msec(8)));
+    EXPECT_DOUBLE_EQ(
+        tl.cumulative(LatencyStage::Service).quantile(1.0),
+        static_cast<double>(msec(15)));
+}
+
+TEST(RecordResponseLatency, UnstampedResponsesRecordNothing)
+{
+    StageLatencyTimeline tl;
+    press::ClientResponseBody body; // sentAt == 0
+    wl::recordResponseLatency(tl, msec(50), body);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(), 0u);
+}
+
+TEST(RecordResponseLatency, ConnectSkippedOnReusedConnections)
+{
+    StageLatencyTimeline tl;
+    press::ClientResponseBody body;
+    body.sentAt = msec(10);
+    body.acceptedAt = msec(11);
+    wl::recordResponseLatency(tl, msec(20), body,
+                              /*record_connect=*/false);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(), 1u);
+    EXPECT_EQ(tl.cumulative(LatencyStage::Connect).count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ClientFarm latency recording
+// ---------------------------------------------------------------------
+
+TEST(ClientFarmLatency, EveryServedRequestLandsInTheTimeline)
+{
+    StampWorld w;
+    wl::ClientFarm farm(w.s, w.n, w.servers, w.clients, smallConfig());
+    farm.start();
+    w.s.runUntil(sec(10));
+    farm.stop();
+    w.s.runUntil(sec(12));
+
+    EXPECT_GT(farm.totalServed(), 0u);
+    const auto &tl = farm.timeline();
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(),
+              farm.totalServed());
+    EXPECT_EQ(tl.cumulative(LatencyStage::Connect).count(),
+              farm.totalServed());
+}
+
+// ---------------------------------------------------------------------
+// SessionFarm
+// ---------------------------------------------------------------------
+
+TEST(SessionFarm, ServesAndChurnsSessions)
+{
+    StampWorld w;
+    auto profile = *wl::profileByName("sessions");
+    wl::SessionFarm farm(w.s, w.n, w.servers, w.clients, smallConfig(),
+                         profile);
+    EXPECT_GT(farm.sessionCount(), 0u);
+    farm.start();
+    w.s.runUntil(sec(30));
+    farm.stop();
+    w.s.runUntil(sec(32));
+
+    EXPECT_GT(farm.totalServed(), 0u);
+    EXPECT_EQ(farm.totalServed(), farm.totalOffered());
+    EXPECT_EQ(farm.totalFailed(), 0u);
+    EXPECT_GT(farm.completedSessions(), 0u);
+
+    // Each request records a total; only connection-opening requests
+    // record a connect.
+    const auto &tl = farm.timeline();
+    EXPECT_EQ(tl.cumulative(LatencyStage::Total).count(),
+              farm.totalServed());
+    EXPECT_GT(tl.cumulative(LatencyStage::Connect).count(), 0u);
+    EXPECT_LT(tl.cumulative(LatencyStage::Connect).count(),
+              tl.cumulative(LatencyStage::Total).count());
+}
+
+TEST(SessionFarm, DeterministicForSameSeed)
+{
+    auto run = [] {
+        StampWorld w;
+        auto profile = *wl::profileByName("sessions");
+        wl::SessionFarm farm(w.s, w.n, w.servers, w.clients,
+                             smallConfig(), profile);
+        farm.start();
+        w.s.runUntil(sec(20));
+        farm.stop();
+        return std::tuple(farm.totalServed(), farm.totalOffered(),
+                          farm.completedSessions());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(SessionFarm, TimeoutsAbandonTheSessionAndReconnect)
+{
+    StampWorld w;
+    w.respond = false;
+    auto profile = *wl::profileByName("sessions");
+    wl::WorkloadConfig cfg = smallConfig();
+    cfg.requestRate = 50;
+    wl::SessionFarm farm(w.s, w.n, w.servers, w.clients, cfg, profile);
+    farm.start();
+    w.s.runUntil(sec(30));
+    farm.stop();
+    w.s.runUntil(sec(40));
+
+    EXPECT_GT(farm.totalFailed(), 0u);
+    EXPECT_EQ(farm.totalServed(), 0u);
+    // Abandoned sessions count as completed: the seat was re-used.
+    EXPECT_GT(farm.completedSessions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// makeLoadGenerator
+// ---------------------------------------------------------------------
+
+TEST(MakeLoadGenerator, PicksTheGeneratorForTheProfile)
+{
+    StampWorld w;
+    auto open = wl::makeLoadGenerator(w.s, w.n, w.servers, w.clients,
+                                      smallConfig(),
+                                      *wl::profileByName("steady"));
+    auto sess = wl::makeLoadGenerator(w.s, w.n, w.servers, w.clients,
+                                      smallConfig(),
+                                      *wl::profileByName("sessions"));
+    EXPECT_NE(dynamic_cast<wl::ClientFarm *>(open.get()), nullptr);
+    EXPECT_NE(dynamic_cast<wl::SessionFarm *>(sess.get()), nullptr);
+}
+
+TEST(MakeLoadGenerator, FlashCrowdRaisesOfferedRateDuringBurst)
+{
+    StampWorld w;
+    auto profile = *wl::profileByName("flashcrowd");
+    auto gen = wl::makeLoadGenerator(w.s, w.n, w.servers, w.clients,
+                                     smallConfig(), profile);
+    gen->start();
+    w.s.runUntil(sec(80));
+    gen->stop();
+
+    // Base (scaled) rate before the burst at t=50s; peak inside it.
+    double base = gen->offered().meanRate(sec(10), sec(40));
+    double burst = gen->offered().meanRate(sec(62), sec(78));
+    EXPECT_GT(burst, base * 1.5);
+}

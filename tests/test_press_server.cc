@@ -14,7 +14,7 @@
 #include "faults/injector.hh"
 #include "press/cluster.hh"
 #include "sim/simulation.hh"
-#include "workload/client_farm.hh"
+#include "loadgen/client_farm.hh"
 
 using namespace performa;
 using namespace performa::sim;

@@ -8,8 +8,8 @@
 
 #include <algorithm>
 
-#include "workload/client_farm.hh"
-#include "workload/trace.hh"
+#include "loadgen/client_farm.hh"
+#include "loadgen/trace.hh"
 
 using namespace performa;
 using namespace performa::wl;

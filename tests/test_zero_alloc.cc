@@ -18,8 +18,10 @@
 #include <new>
 #include <unordered_map>
 
+#include "loadgen/session_farm.hh"
 #include "net/network.hh"
 #include "os/node.hh"
+#include "press/messages.hh"
 #include "proto/tcp.hh"
 #include "sim/simulation.hh"
 
@@ -240,4 +242,81 @@ TEST(ZeroAlloc, NetworkFrameBlastSteadyStateAllocatesNothing)
     EXPECT_EQ(got - got_before, 100u * kBurst);
     EXPECT_EQ(acked, got);
     EXPECT_EQ(g_news, 0u) << "heap allocations in the steady state";
+}
+
+TEST(ZeroAlloc, SessionClientFloodSteadyStateAllocatesNothing)
+{
+    sim::Simulation s{11};
+    net::Network net{s};
+    std::vector<net::PortId> servers, clients;
+    for (int i = 0; i < 2; ++i)
+        servers.push_back(net.addPort());
+    for (int i = 0; i < 2; ++i)
+        clients.push_back(net.addPort());
+
+    // A stamp-echoing server: responds from the payload pool so the
+    // whole request/response loop runs off pre-carved memory.
+    for (net::PortId p : servers) {
+        net.setHandler(p, [&s, &net, p](net::Frame &&f) {
+            auto *req = f.payload.get<press::ClientRequestBody>();
+            net::Frame r;
+            r.srcPort = p;
+            r.dstPort = req->replyPort;
+            r.proto = net::Proto::Client;
+            r.kind = press::ClientResponse;
+            r.bytes = 8192;
+            auto body = s.makePayload<press::ClientResponseBody>();
+            body->req = req->req;
+            body->sentAt = req->sentAt;
+            body->acceptedAt = s.now();
+            body->serviceStartAt = s.now();
+            r.payload = std::move(body);
+            net.send(std::move(r));
+        });
+    }
+
+    wl::WorkloadConfig cfg;
+    cfg.requestRate = 2000;
+    cfg.numFiles = 500;
+    auto profile = *wl::profileByName("sessions");
+    profile.reserveSlices = 128; // covers the whole run below
+    wl::SessionFarm farm(s, net, servers, clients, cfg, profile);
+    farm.start();
+
+    // Warm-up: session table live, payload pool and event slab at
+    // steady-state capacity, histograms carved out.
+    s.runUntil(sim::sec(5));
+    ASSERT_GT(farm.totalServed(), 0u);
+
+    // Deterministically pre-carve pool capacity past any stochastic
+    // in-flight peak: every session can have a request body and a
+    // response body live at once, plus slack for queued frames.
+    {
+        std::vector<sim::Rc<press::ClientRequestBody>> reqs;
+        std::vector<sim::Rc<press::ClientResponseBody>> resps;
+        std::size_t n = 4 * farm.sessionCount() + 64;
+        reqs.reserve(n);
+        resps.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            reqs.push_back(s.makePayload<press::ClientRequestBody>());
+            resps.push_back(s.makePayload<press::ClientResponseBody>());
+        }
+    } // handles drop here; the blocks land on the free lists
+
+    std::uint64_t fresh_before = s.pool().freshAllocs();
+    std::uint64_t served_before = farm.totalServed();
+    g_news = 0;
+    g_counting = true;
+    s.runUntil(sim::sec(60));
+    g_counting = false;
+
+    EXPECT_GT(farm.totalServed(), served_before);
+    EXPECT_EQ(farm.totalFailed(), 0u);
+    EXPECT_GT(farm.timeline()
+                  .cumulative(sim::LatencyStage::Total)
+                  .count(),
+              0u);
+    EXPECT_EQ(g_news, 0u) << "heap allocations in the steady state";
+    EXPECT_EQ(s.pool().freshAllocs(), fresh_before)
+        << "payload pool carved fresh blocks in the steady state";
 }

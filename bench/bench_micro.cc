@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/performability.hh"
+#include "exp/experiment.hh"
 #include "loadgen/session_farm.hh"
 #include "net/network.hh"
 #include "os/node.hh"
@@ -20,6 +21,7 @@
 #include "sim/latency_histogram.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 
 using namespace performa;
 
@@ -505,5 +507,89 @@ BM_SessionClientChurn(benchmark::State &state)
     state.SetItemsProcessed(farm.totalServed() - served_before);
 }
 BENCHMARK(BM_SessionClientChurn);
+
+namespace {
+
+/** A light phase-1 world: full 4-node PRESS cluster, reduced load. */
+exp::ExperimentConfig
+snapshotBenchConfig(sim::Tick inject_at, sim::Tick tail)
+{
+    exp::ExperimentConfig cfg =
+        exp::defaultExperimentConfig(press::Version::TcpPress);
+    cfg.workload.requestRate = 600;
+    cfg.workload.numFiles = 8000;
+    cfg.injectAt = inject_at;
+    cfg.duration = inject_at + tail;
+    return cfg;
+}
+
+} // namespace
+
+static void
+BM_SnapshotFork(benchmark::State &state)
+{
+    // Pure rewind cost: restore a warmed 4-node PRESS world (event
+    // slab, payload refs, protocol endpoints, caches, farms) back to
+    // its snapshot. This is what replaces a whole warm-up phase per
+    // fault run in the campaign.
+    exp::ExperimentConfig cfg =
+        snapshotBenchConfig(sim::sec(10), sim::sec(5));
+    exp::Experiment e(cfg);
+    e.warmUp();
+    sim::Snapshot snap = e.snapshot();
+    for (auto _ : state)
+        e.forkFrom(snap);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["states"] = static_cast<double>(snap.size());
+}
+BENCHMARK(BM_SnapshotFork);
+
+static void
+BM_WarmupAmortization(benchmark::State &state)
+{
+    // One full fault grid (all Table 2 kinds) over a warm-up-dominated
+    // geometry: 180 s fault-free warm phase, 12 s measured tail per
+    // fault. Arg 0 = cold (every fault warms its own world, the
+    // pre-snapshot campaign); Arg 1 = forked (one warm-up, every fault
+    // forked from its snapshot). time(0) / time(1) is the campaign
+    // speedup on such a grid.
+    const bool forked = state.range(0) != 0;
+    const sim::Tick injectAt = sim::sec(180);
+    const sim::Tick tail = sim::sec(12);
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        if (forked) {
+            exp::Experiment e(
+                snapshotBenchConfig(injectAt, tail));
+            e.warmUp();
+            sim::Snapshot snap = e.snapshot();
+            for (fault::FaultKind k : fault::allFaultKinds) {
+                exp::ExperimentConfig cfg =
+                    snapshotBenchConfig(injectAt, tail);
+                cfg.fault = fault::FaultSpec{};
+                cfg.fault->kind = k;
+                e.forkFrom(snap);
+                benchmark::DoNotOptimize(
+                    e.injectAndMeasure(cfg.fault, cfg.duration));
+                ++runs;
+            }
+        } else {
+            for (fault::FaultKind k : fault::allFaultKinds) {
+                exp::ExperimentConfig cfg =
+                    snapshotBenchConfig(injectAt, tail);
+                cfg.fault = fault::FaultSpec{};
+                cfg.fault->kind = k;
+                benchmark::DoNotOptimize(exp::runExperiment(cfg));
+                ++runs;
+            }
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_WarmupAmortization)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 BENCHMARK_MAIN();

@@ -43,6 +43,10 @@ usage(const char *argv0)
         "                 performa_phase1.csv); extra axes get\n"
         "                 .nN / .xSCALE suffixes\n"
         "  --seed S       campaign seed (default 42)\n"
+        "  --versions L   comma-separated version indices (Table 1\n"
+        "                 order, 0-4; default: all)\n"
+        "  --faults L     comma-separated fault-kind indices (Table 2\n"
+        "                 order, 0-11; default: all)\n"
         "  --nodes LIST   comma-separated cluster sizes (default 4)\n"
         "  --scale LIST   comma-separated offered-load scales\n"
         "                 (default 1.0)\n"
@@ -291,6 +295,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     std::vector<std::uint32_t> nodeAxis = {4};
     std::vector<double> scaleAxis = {1.0};
+    std::vector<press::Version> versionSubset;
+    std::vector<fault::FaultKind> faultSubset;
     bool fresh = false, quiet = false, list = false, netStats = false;
     loadgen::LoadProfileSpec profile;
     std::string sloSpec;
@@ -312,6 +318,26 @@ main(int argc, char **argv)
             cache = value("--cache");
         } else if (arg == "--seed") {
             seed = std::strtoull(value("--seed"), nullptr, 10);
+        } else if (arg == "--versions") {
+            for (const std::string &tok : splitCsv(value("--versions"))) {
+                unsigned long idx = std::strtoul(tok.c_str(), nullptr, 10);
+                if (idx >= std::size(press::allVersions)) {
+                    std::fprintf(stderr, "bad --versions index: %s\n",
+                                 tok.c_str());
+                    return 2;
+                }
+                versionSubset.push_back(press::allVersions[idx]);
+            }
+        } else if (arg == "--faults") {
+            for (const std::string &tok : splitCsv(value("--faults"))) {
+                unsigned long idx = std::strtoul(tok.c_str(), nullptr, 10);
+                if (idx >= std::size(fault::allFaultKinds)) {
+                    std::fprintf(stderr, "bad --faults index: %s\n",
+                                 tok.c_str());
+                    return 2;
+                }
+                faultSubset.push_back(fault::allFaultKinds[idx]);
+            }
         } else if (arg == "--nodes") {
             nodeAxis.clear();
             for (const std::string &tok : splitCsv(value("--nodes")))
@@ -373,7 +399,7 @@ main(int argc, char **argv)
                             press::versionName(v), fault::faultName(k),
                             n, x,
                             static_cast<unsigned long long>(
-                                campaign::phase1Seed(seed, v, k, n, x,
+                                campaign::phase1Seed(seed, v, n, x,
                                                      profile.name)));
         return 0;
     }
@@ -392,13 +418,20 @@ main(int argc, char **argv)
             opts.fresh = fresh;
             opts.profile = profile;
             opts.slo = slo;
+            opts.versions = versionSubset;
+            opts.faults = faultSubset;
+            std::size_t gridVersions = versionSubset.empty()
+                                           ? std::size(press::allVersions)
+                                           : versionSubset.size();
+            std::size_t gridFaults = faultSubset.empty()
+                                         ? std::size(fault::allFaultKinds)
+                                         : faultSubset.size();
             std::string path =
                 comboCachePath(cache, n, x, profile.name, sloSpec);
             std::printf("campaign: %zu-point grid, nodes=%u scale=%g "
                         "jobs=%u cache=%s\n",
-                        std::size(press::allVersions) *
-                            std::size(fault::allFaultKinds),
-                        n, x, effective, path.c_str());
+                        gridVersions * gridFaults, n, x, effective,
+                        path.c_str());
             if (netStats) {
                 opts.netStats = [](press::Version v, fault::FaultKind k,
                                    const std::vector<net::PortStats>

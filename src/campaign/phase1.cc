@@ -1,30 +1,36 @@
 #include "campaign/phase1.hh"
 
+#include <cstdio>
+#include <deque>
 #include <iterator>
+#include <memory>
+#include <stdexcept>
 
 #include "campaign/seed.hh"
+#include "exp/experiment.hh"
 #include "exp/stages.hh"
 
 namespace performa::campaign {
 
 std::uint64_t
 phase1Seed(std::uint64_t campaign_seed, press::Version v,
-           fault::FaultKind k, std::uint32_t num_nodes,
-           double load_scale, const std::string &profile)
+           std::uint32_t num_nodes, double load_scale,
+           const std::string &profile)
 {
-    // Version 1 of the derivation; bump the leading component if the
-    // scheme ever changes so stale caches can't masquerade as fresh.
-    // The default profile contributes nothing, keeping every
-    // historical seed (and the cached grid) intact.
+    // Version 2 of the derivation: the fault kind no longer
+    // participates, so every fault of one (version, nodes, load,
+    // profile) combination shares a seed — and therefore a warm-up —
+    // and the grid can fork from a single warmed snapshot. The
+    // leading component is bumped from the v1 scheme so stale caches
+    // can't masquerade as fresh. The default profile contributes
+    // nothing, keeping "" and "steady" identical.
     if (profile.empty() || profile == "steady")
         return deriveSeed(campaign_seed,
-                          {1ull, static_cast<std::uint64_t>(v),
-                           static_cast<std::uint64_t>(k),
+                          {2ull, static_cast<std::uint64_t>(v),
                            static_cast<std::uint64_t>(num_nodes),
                            seedComponent(load_scale)});
     return deriveSeed(campaign_seed,
-                      {1ull, static_cast<std::uint64_t>(v),
-                       static_cast<std::uint64_t>(k),
+                      {2ull, static_cast<std::uint64_t>(v),
                        static_cast<std::uint64_t>(num_nodes),
                        seedComponent(load_scale),
                        seedComponent(profile)});
@@ -44,6 +50,35 @@ phase1TagKey(std::uint64_t tag)
             static_cast<fault::FaultKind>(tag & 0xffffffffu)};
 }
 
+std::string
+phase1Fingerprint(const Phase1Options &opts)
+{
+    // Keep the format append-only: consumers compare the whole string
+    // for equality, so any change here (like any seed-scheme bump)
+    // deliberately invalidates every existing cache.
+    char buf[160];
+    if (opts.slo)
+        std::snprintf(buf, sizeof buf,
+                      "seed-scheme=2 nodes=%u scale=%g profile=%s "
+                      "slo=p%g@%lluus",
+                      opts.numNodes, opts.loadScale,
+                      opts.profile.name.empty()
+                          ? "steady"
+                          : opts.profile.name.c_str(),
+                      opts.slo->quantile * 100.0,
+                      static_cast<unsigned long long>(
+                          opts.slo->thresholdUs));
+    else
+        std::snprintf(buf, sizeof buf,
+                      "seed-scheme=2 nodes=%u scale=%g profile=%s "
+                      "slo=none",
+                      opts.numNodes, opts.loadScale,
+                      opts.profile.name.empty()
+                          ? "steady"
+                          : opts.profile.name.c_str());
+    return buf;
+}
+
 exp::ExperimentConfig
 phase1Config(press::Version v, fault::FaultKind k,
              const Phase1Options &opts)
@@ -52,8 +87,29 @@ phase1Config(press::Version v, fault::FaultKind k,
     cfg.cluster.press.numNodes = opts.numNodes;
     cfg.workload.requestRate *= opts.loadScale;
     cfg.profile = opts.profile;
-    cfg.seed = phase1Seed(opts.campaignSeed, v, k, opts.numNodes,
+    cfg.seed = phase1Seed(opts.campaignSeed, v, opts.numNodes,
                           opts.loadScale, opts.profile.name);
+    return cfg;
+}
+
+exp::ExperimentConfig
+phase1WarmConfig(press::Version v,
+                 const std::vector<fault::FaultKind> &faults,
+                 const Phase1Options &opts)
+{
+    // Any fault's config works as the base: everything before the
+    // injection point (seed, workload, cluster, injectAt) is
+    // fault-independent by construction.
+    exp::ExperimentConfig cfg =
+        phase1Config(v, faults.empty() ? fault::FaultKind::AppCrash
+                                       : faults.front(),
+                     opts);
+    cfg.fault.reset();
+    for (fault::FaultKind k : faults) {
+        exp::ExperimentConfig c = phase1Config(v, k, opts);
+        if (c.duration > cfg.duration)
+            cfg.duration = c.duration;
+    }
     return cfg;
 }
 
@@ -71,6 +127,7 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
                       std::end(fault::allFaultKinds));
 
     Phase1Result result;
+    db.setFingerprint(phase1Fingerprint(opts));
     if (!opts.fresh && !cache_path.empty())
         db.load(cache_path);
 
@@ -94,39 +151,126 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
     std::vector<std::vector<net::PortStats>> statSlots(
         collect_stats ? todo.size() : 0);
 
-    std::function<model::MeasuredBehavior(std::size_t,
-                                          const exp::ExperimentConfig &)>
-        measure;
-    if (opts.measureFn) {
-        measure = [&opts](std::size_t, const exp::ExperimentConfig &cfg) {
-            return opts.measureFn(cfg);
-        };
-    } else {
-        measure = [&statSlots, collect_stats, &opts](
-                      std::size_t i, const exp::ExperimentConfig &cfg) {
-            exp::ExperimentResult res = exp::runExperiment(cfg);
-            if (collect_stats)
-                statSlots[i] = std::move(res.intraPortStats);
-            exp::ExtractionParams p;
-            p.slo = opts.slo;
-            return exp::extractBehavior(res, *cfg.fault, p);
-        };
-    }
+    auto secondsOf = [](sim::Tick t) {
+        return static_cast<double>(t) / static_cast<double>(sim::sec(1));
+    };
 
     std::vector<Job> jobs;
-    jobs.reserve(todo.size());
-    for (std::size_t i = 0; i < todo.size(); ++i) {
-        auto [v, k] = todo[i];
-        exp::ExperimentConfig cfg = phase1Config(v, k, opts);
-        Job job;
-        job.label = std::string(press::versionName(v)) + " x " +
-                    fault::faultName(k);
-        job.seed = cfg.seed;
-        job.tag = phase1Tag(v, k);
-        job.work = [&slots, i, cfg, &measure](const Job &) {
-            slots[i] = measure(i, cfg);
-        };
-        jobs.push_back(std::move(job));
+    // jobSlot[j] maps a job index to its `todo` slot; warm-up jobs
+    // (which produce no behaviour of their own) map to -1.
+    std::vector<std::ptrdiff_t> jobSlot;
+
+    // Per-combination warm state, shared between the warm-up job and
+    // its fault jobs via stable references (deque never reallocates
+    // existing elements). The last fault job of a combination frees
+    // the snapshot so peak memory stays at O(workers) worlds.
+    struct WarmState
+    {
+        std::unique_ptr<exp::Experiment> exp;
+        sim::Snapshot snap;
+        std::size_t remaining = 0;
+    };
+    std::deque<WarmState> warm;
+
+    if (opts.measureFn) {
+        // Runner override: no shared warm-up (the override owns the
+        // whole measurement), so every grid point stays independent.
+        jobs.reserve(todo.size());
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+            auto [v, k] = todo[i];
+            exp::ExperimentConfig cfg = phase1Config(v, k, opts);
+            Job job;
+            job.label = std::string(press::versionName(v)) + " x " +
+                        fault::faultName(k);
+            job.seed = cfg.seed;
+            job.tag = phase1Tag(v, k);
+            job.units = secondsOf(cfg.duration);
+            job.work = [&slots, i, cfg, &opts](const Job &) {
+                slots[i] = opts.measureFn(cfg);
+            };
+            jobs.push_back(std::move(job));
+            jobSlot.push_back(static_cast<std::ptrdiff_t>(i));
+        }
+    } else {
+        // Fork path: one warm-up job per combination, then its fault
+        // jobs on the same strand (sequential, in submission order,
+        // sharing the warmed snapshot).
+        for (press::Version v : versions) {
+            std::vector<std::size_t> mine;
+            std::vector<fault::FaultKind> mineFaults;
+            for (std::size_t i = 0; i < todo.size(); ++i) {
+                if (todo[i].first == v) {
+                    mine.push_back(i);
+                    mineFaults.push_back(todo[i].second);
+                }
+            }
+            if (mine.empty())
+                continue;
+
+            exp::ExperimentConfig warmCfg =
+                phase1WarmConfig(v, mineFaults, opts);
+            std::string strand =
+                "phase1/" + std::string(press::versionName(v));
+            warm.emplace_back();
+            WarmState &ws = warm.back();
+            ws.remaining = mine.size();
+
+            Job wj;
+            wj.label =
+                std::string(press::versionName(v)) + " warm-up";
+            wj.seed = warmCfg.seed;
+            wj.tag = kWarmupJobTag;
+            wj.strand = strand;
+            wj.units = secondsOf(warmCfg.injectAt);
+            wj.work = [&ws, warmCfg](const Job &) {
+                ws.exp = std::make_unique<exp::Experiment>(warmCfg);
+                ws.exp->warmUp();
+                ws.snap = ws.exp->snapshot();
+            };
+            jobs.push_back(std::move(wj));
+            jobSlot.push_back(-1);
+
+            for (std::size_t i : mine) {
+                auto [vv, k] = todo[i];
+                exp::ExperimentConfig cfg = phase1Config(vv, k, opts);
+                Job job;
+                job.label = std::string(press::versionName(vv)) +
+                            " x " + fault::faultName(k);
+                job.seed = cfg.seed;
+                job.tag = phase1Tag(vv, k);
+                job.strand = strand;
+                job.units = secondsOf(cfg.duration - cfg.injectAt);
+                job.work = [&slots, &statSlots, collect_stats, &ws, i,
+                            cfg, &opts](const Job &) {
+                    struct Release
+                    {
+                        WarmState &ws;
+                        ~Release()
+                        {
+                            if (--ws.remaining == 0) {
+                                ws.snap = sim::Snapshot{};
+                                ws.exp.reset();
+                            }
+                        }
+                    } release{ws};
+                    if (!ws.exp || ws.snap.empty())
+                        throw std::runtime_error(
+                            "warm-up failed; cannot fork");
+                    ws.exp->forkFrom(ws.snap);
+                    exp::ExperimentResult res =
+                        ws.exp->injectAndMeasure(cfg.fault,
+                                                 cfg.duration);
+                    if (collect_stats)
+                        statSlots[i] = std::move(res.intraPortStats);
+                    exp::ExtractionParams p;
+                    p.slo = opts.slo;
+                    slots[i] =
+                        exp::extractBehavior(res, *cfg.fault, p);
+                };
+                jobs.push_back(std::move(job));
+                jobSlot.push_back(static_cast<std::ptrdiff_t>(i));
+            }
+        }
     }
 
     RunnerConfig rc;
@@ -134,22 +278,31 @@ ensurePhase1(exp::BehaviorDb &db, const std::string &cache_path,
     rc.progress = opts.progress;
     CampaignReport report = runCampaign(jobs, rc);
 
-    for (std::size_t i = 0; i < todo.size(); ++i) {
-        if (report.jobs[i].ok) {
-            db.set(todo[i].first, todo[i].second, slots[i]);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        std::ptrdiff_t slot = jobSlot[j];
+        if (slot < 0) {
+            // Warm-up jobs produce no behaviour; surface a failure
+            // report (its fault jobs fail too and count below).
+            if (!report.jobs[j].ok)
+                result.failures.push_back(report.jobs[j]);
+            continue;
+        }
+        if (report.jobs[j].ok) {
+            db.set(todo[slot].first, todo[slot].second, slots[slot]);
             ++result.measured;
         } else {
             ++result.failed;
-            result.failures.push_back(report.jobs[i]);
+            result.failures.push_back(report.jobs[j]);
         }
     }
     result.wallSeconds = report.wallSeconds;
 
     if (collect_stats) {
-        for (std::size_t i = 0; i < todo.size(); ++i) {
-            if (report.jobs[i].ok)
-                opts.netStats(todo[i].first, todo[i].second,
-                              statSlots[i]);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            std::ptrdiff_t slot = jobSlot[j];
+            if (slot >= 0 && report.jobs[j].ok)
+                opts.netStats(todo[slot].first, todo[slot].second,
+                              statSlots[slot]);
         }
     }
 
@@ -178,6 +331,7 @@ BehaviorDb::ensureAll(const std::string &cache_path,
         // legacy per-pair callback still sees every grid point;
         // measured pairs stream in as their jobs complete.
         BehaviorDb cached;
+        cached.setFingerprint(campaign::phase1Fingerprint(opts));
         if (!cache_path.empty())
             cached.load(cache_path);
         for (press::Version v : press::allVersions)
@@ -185,6 +339,8 @@ BehaviorDb::ensureAll(const std::string &cache_path,
                 if (cached.has(v, k))
                     progress(v, k, true);
         opts.progress = [&progress](const campaign::Progress &p) {
+            if (p.last->tag == campaign::kWarmupJobTag)
+                return; // shared warm-ups aren't grid points
             auto [v, k] = campaign::phase1TagKey(p.last->tag);
             progress(v, k, false);
         };

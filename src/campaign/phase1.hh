@@ -5,11 +5,18 @@
  * experiments sharded across a worker pool. This is the parallel
  * engine behind BehaviorDb::ensureAll and the performa_campaign CLI.
  *
- * Determinism contract: each job's RNG seed is a pure function of
- * (campaign seed, version, fault kind, cluster size, load scale) —
- * see phase1Seed() — and completed behaviours are merged into the
- * BehaviorDb in key order, so the resulting database (and its saved
- * CSV) is byte-identical for any worker count.
+ * Determinism contract: each combination's RNG seed is a pure
+ * function of (campaign seed, version, cluster size, load scale,
+ * profile) — see phase1Seed() — and completed behaviours are merged
+ * into the BehaviorDb in key order, so the resulting database (and
+ * its saved CSV) is byte-identical for any worker count.
+ *
+ * Warm-up sharing: the fault kind does NOT participate in the seed,
+ * so every fault of one (version, nodes, load, profile) combination
+ * sees the same world up to the injection point. The campaign
+ * exploits this by running the fault-free warm phase once per
+ * combination, snapshotting it (sim/snapshot.hh), and forking each
+ * fault run from the snapshot on the same worker strand.
  */
 
 #ifndef PERFORMA_CAMPAIGN_PHASE1_HH
@@ -28,21 +35,27 @@
 namespace performa::campaign {
 
 /**
- * Per-job seed for one grid point. Pure; order-independent. The
- * profile name participates only when it names a non-default shape
- * ("" and "steady" derive the historical seed), so the default grid
- * stays byte-identical. The latency SLO never enters the seed: it is
- * pure observation, and the throughput columns of an SLO campaign
- * must match the plain one's.
+ * Per-combination seed: one per (version, nodes, load, profile) —
+ * shared by every fault kind so the whole fault grid can fork from
+ * one warmed snapshot. Pure; order-independent. The profile name
+ * participates only when it names a non-default shape ("" and
+ * "steady" derive the same seed), so the default grid stays
+ * byte-identical. The latency SLO never enters the seed: it is pure
+ * observation, and the throughput columns of an SLO campaign must
+ * match the plain one's.
  */
 std::uint64_t phase1Seed(std::uint64_t campaign_seed, press::Version v,
-                         fault::FaultKind k, std::uint32_t num_nodes = 4,
+                         std::uint32_t num_nodes = 4,
                          double load_scale = 1.0,
                          const std::string &profile = {});
 
 /** Pack a grid point into a Job::tag (and back from a JobReport). */
 std::uint64_t phase1Tag(press::Version v, fault::FaultKind k);
 exp::BehaviorDb::Key phase1TagKey(std::uint64_t tag);
+
+/** Job::tag of the shared per-combination warm-up jobs (progress
+ *  consumers that map tags back to grid points must skip it). */
+inline constexpr std::uint64_t kWarmupJobTag = ~0ull;
 
 /** One phase-1 campaign's parameters. */
 struct Phase1Options
@@ -103,9 +116,29 @@ struct Phase1Result
     bool ok() const { return failed == 0; }
 };
 
-/** The experiment config for one grid point, per-job seed applied. */
+/**
+ * Canonical cache fingerprint for one campaign's options: the seed
+ * scheme version plus every axis a cached row's bytes depend on
+ * (nodes, load scale, profile, SLO). Stamped into saved caches and
+ * checked on load, so a cache written under a different scheme or
+ * grid is re-measured instead of silently merged.
+ */
+std::string phase1Fingerprint(const Phase1Options &opts);
+
+/** The experiment config for one grid point, combination seed applied. */
 exp::ExperimentConfig phase1Config(press::Version v, fault::FaultKind k,
                                    const Phase1Options &opts);
+
+/**
+ * The fault-free warm-up config for one combination: the common
+ * prefix of every fault's phase1Config (same seed, same world, no
+ * fault), sized to the longest fault's run so one snapshot serves the
+ * whole grid.
+ */
+exp::ExperimentConfig
+phase1WarmConfig(press::Version v,
+                 const std::vector<fault::FaultKind> &faults,
+                 const Phase1Options &opts = {});
 
 /**
  * Ensure @p db holds a behaviour for every grid point: load

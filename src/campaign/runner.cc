@@ -1,8 +1,10 @@
 #include "campaign/runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <unordered_map>
 
 #include "campaign/thread_pool.hh"
 
@@ -39,49 +41,84 @@ runCampaign(const std::vector<Job> &jobs, const RunnerConfig &cfg)
     // itself runs lock-free and in parallel.
     std::mutex state_mu;
     std::size_t done = 0;
+    double units_done = 0;
     std::vector<char> completed(jobs.size(), 0);
+    std::atomic<bool> abandon{false};
+
+    double units_total = 0;
+    for (const Job &j : jobs)
+        units_total += j.units;
+
+    // Execution groups: each strand becomes one sequential group (its
+    // jobs run in submission order on a single worker); strandless
+    // jobs are their own singleton groups.
+    std::vector<std::vector<std::size_t>> groups;
+    std::unordered_map<std::string, std::size_t> strandGroup;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].strand.empty()) {
+            groups.push_back({i});
+            continue;
+        }
+        auto [it, fresh] =
+            strandGroup.try_emplace(jobs[i].strand, groups.size());
+        if (fresh)
+            groups.push_back({i});
+        else
+            groups[it->second].push_back(i);
+    }
 
     unsigned workers = cfg.workers ? cfg.workers : defaultWorkerCount();
     {
         ThreadPool pool(workers);
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool.submit([&, i] {
-                const Job &job = jobs[i];
-                JobReport &jr = report.jobs[i];
-                Clock::time_point js = Clock::now();
-                try {
-                    if (job.work)
-                        job.work(job);
-                    jr.ok = true;
-                } catch (const std::exception &e) {
-                    jr.ok = false;
-                    jr.error = e.what();
-                } catch (...) {
-                    jr.ok = false;
-                    jr.error = "unknown exception";
-                }
-                jr.wallSeconds = secondsSince(js);
+        for (const auto &group : groups) {
+            pool.submit([&, group] {
+                for (std::size_t i : group) {
+                    if (abandon.load(std::memory_order_relaxed))
+                        break; // remaining strand jobs stay skipped
+                    const Job &job = jobs[i];
+                    JobReport &jr = report.jobs[i];
+                    Clock::time_point js = Clock::now();
+                    try {
+                        if (job.work)
+                            job.work(job);
+                        jr.ok = true;
+                    } catch (const std::exception &e) {
+                        jr.ok = false;
+                        jr.error = e.what();
+                    } catch (...) {
+                        jr.ok = false;
+                        jr.error = "unknown exception";
+                    }
+                    jr.wallSeconds = secondsSince(js);
 
-                std::lock_guard<std::mutex> lk(state_mu);
-                completed[i] = 1;
-                ++done;
-                if (!jr.ok) {
-                    ++report.failed;
-                    if (cfg.cancelOnFailure)
-                        pool.cancel();
-                }
-                if (cfg.progress) {
-                    Progress p;
-                    p.done = done;
-                    p.total = jobs.size();
-                    p.failed = report.failed;
-                    p.elapsedSeconds = secondsSince(t0);
-                    p.etaSeconds =
-                        done ? p.elapsedSeconds / double(done) *
-                                   double(jobs.size() - done)
-                             : 0.0;
-                    p.last = &jr;
-                    cfg.progress(p);
+                    std::lock_guard<std::mutex> lk(state_mu);
+                    completed[i] = 1;
+                    ++done;
+                    units_done += job.units;
+                    if (!jr.ok) {
+                        ++report.failed;
+                        if (cfg.cancelOnFailure) {
+                            abandon.store(true,
+                                          std::memory_order_relaxed);
+                            pool.cancel();
+                        }
+                    }
+                    if (cfg.progress) {
+                        Progress p;
+                        p.done = done;
+                        p.total = jobs.size();
+                        p.failed = report.failed;
+                        p.unitsDone = units_done;
+                        p.unitsTotal = units_total;
+                        p.elapsedSeconds = secondsSince(t0);
+                        p.etaSeconds =
+                            units_done > 0
+                                ? p.elapsedSeconds / units_done *
+                                      (units_total - units_done)
+                                : 0.0;
+                        p.last = &jr;
+                        cfg.progress(p);
+                    }
                 }
             });
         }

@@ -37,6 +37,19 @@ struct Job
     std::uint64_t seed = 0;
     /** Opaque caller identity, echoed back in the JobReport. */
     std::uint64_t tag = 0;
+    /**
+     * Sequencing key: jobs sharing a non-empty strand run
+     * sequentially, in submission order, on one worker — e.g. a
+     * warm-up job followed by the fault runs forked from its
+     * snapshot. Jobs with an empty strand run independently.
+     */
+    std::string strand;
+    /**
+     * Relative work weight for progress/ETA accounting. A shared
+     * warm-up job carries its own (one-off) weight, so the ETA does
+     * not count the warm-up once per fault.
+     */
+    double units = 1.0;
     /** The work. May throw; the runner records, the campaign lives. */
     std::function<void(const Job &)> work;
 };
@@ -58,8 +71,13 @@ struct Progress
     std::size_t done = 0;   ///< jobs finished (ok or failed)
     std::size_t total = 0;
     std::size_t failed = 0;
+    /** Work-weight accounting (sums of Job::units): a shared warm-up
+     *  counts once, not once per dependent fault job. */
+    double unitsDone = 0;
+    double unitsTotal = 0;
     double elapsedSeconds = 0;
-    /** Simple remaining-work estimate: elapsed/done * (total-done). */
+    /** Remaining-work estimate over units:
+     *  elapsed/unitsDone * (unitsTotal-unitsDone). */
     double etaSeconds = 0;
     /** The job that just finished. */
     const JobReport *last = nullptr;

@@ -92,6 +92,10 @@ BehaviorDb::lookup() const
     };
 }
 
+namespace {
+const char kFingerprintPrefix[] = "# fingerprint: ";
+} // namespace
+
 bool
 BehaviorDb::load(const std::string &path)
 {
@@ -99,7 +103,17 @@ BehaviorDb::load(const std::string &path)
     if (!in)
         return false;
     std::string line;
-    std::getline(in, line); // header
+    std::getline(in, line); // fingerprint comment or column header
+    std::string fileFp;
+    if (line.rfind(kFingerprintPrefix, 0) == 0) {
+        fileFp = line.substr(sizeof(kFingerprintPrefix) - 1);
+        std::getline(in, line); // column header
+    }
+    // A stale cache (different seed scheme, axes, or SLO — or a
+    // legacy file with no fingerprint at all) must be re-measured,
+    // never merged.
+    if (!fingerprint_.empty() && fileFp != fingerprint_)
+        return false;
     // Caches written with latency recording carry extra columns.
     bool hasLatency = line.find(",lat,") != std::string::npos;
     while (std::getline(in, line)) {
@@ -155,6 +169,8 @@ BehaviorDb::save(const std::string &path) const
     for (const auto &[key, mb] : rows_)
         if (mb.latency.present)
             anyLatency = true;
+    if (!fingerprint_.empty())
+        out << kFingerprintPrefix << fingerprint_ << "\n";
     out << "version,fault,tn,detected,healed";
     for (int s = 0; s < model::numStages; ++s)
         out << ",tput" << model::stageLetter(s);

@@ -59,6 +59,18 @@ class BehaviorDb
     void set(press::Version v, fault::FaultKind k,
              const model::MeasuredBehavior &mb);
 
+    /**
+     * Expected cache fingerprint: a short description of everything a
+     * cached row's bytes depend on (seed-scheme version, grid axes,
+     * SLO). When set, save() stamps it into the CSV as a leading
+     * `# fingerprint:` comment and load() REJECTS any file whose
+     * fingerprint differs — including legacy files with none — so a
+     * stale cache is re-measured instead of silently merged. An empty
+     * expectation (the default) accepts anything.
+     */
+    void setFingerprint(std::string fp) { fingerprint_ = std::move(fp); }
+    const std::string &fingerprint() const { return fingerprint_; }
+
     bool load(const std::string &path);
     void save(const std::string &path) const;
 
@@ -69,6 +81,7 @@ class BehaviorDb
 
   private:
     std::map<Key, model::MeasuredBehavior> rows_;
+    std::string fingerprint_;
 };
 
 } // namespace performa::exp

@@ -1,7 +1,10 @@
 #include "exp/experiment.hh"
 
+#include <memory>
+
 #include "faults/injector.hh"
 #include "loadgen/generator.hh"
+#include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 namespace performa::exp {
@@ -45,115 +48,168 @@ defaultExperimentConfig(press::Version v)
     return cfg;
 }
 
-ExperimentResult
-runExperiment(const ExperimentConfig &cfg)
+Experiment::Experiment(ExperimentConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed)
 {
-    sim::Simulation sim(cfg.seed);
+    if (cfg_.profile.pareto.enabled)
+        cfg_.cluster.press.fileSizeFn =
+            wl::makeFileSizeFn(cfg_.profile.pareto);
+    if (cfg_.profile.reserveSlices == 0)
+        cfg_.profile.reserveSlices =
+            static_cast<std::size_t>(cfg_.duration / sim::sec(1)) + 2;
 
-    press::ClusterConfig clusterCfg = cfg.cluster;
-    wl::LoadProfileSpec profile = cfg.profile;
-    if (profile.pareto.enabled)
-        clusterCfg.press.fileSizeFn = wl::makeFileSizeFn(profile.pareto);
-    if (profile.reserveSlices == 0)
-        profile.reserveSlices =
-            static_cast<std::size_t>(cfg.duration / sim::sec(1)) + 2;
+    cluster_ = std::make_unique<press::Cluster>(sim_, cfg_.cluster);
+    farm_ = wl::makeLoadGenerator(
+        sim_, cluster_->clientNet(), cluster_->serverClientPorts(),
+        cluster_->clientMachinePorts(), cfg_.workload, cfg_.profile);
 
-    press::Cluster cluster(sim, clusterCfg);
-    auto farmPtr = wl::makeLoadGenerator(
-        sim, cluster.clientNet(), cluster.serverClientPorts(),
-        cluster.clientMachinePorts(), cfg.workload, profile);
-    wl::LoadGenerator &farm = *farmPtr;
-
-    ExperimentResult res;
-    res.injectAt = cfg.injectAt;
-    res.runLength = cfg.duration;
-
-    // Wire up marker collection.
-    for (std::uint32_t i = 0; i < cluster.numNodes(); ++i) {
+    // Wire up marker collection (into the experiment-owned log, which
+    // the snapshot registry saves and restores like any component).
+    for (std::uint32_t i = 0; i < cluster_->numNodes(); ++i) {
         press::ServerHooks hooks;
-        hooks.onExclude = [&res, &sim](sim::NodeId self,
-                                       sim::NodeId failed) {
-            res.markers.add(sim.now(), MarkerKind::Exclude, self, failed);
+        hooks.onExclude = [this](sim::NodeId self, sim::NodeId failed) {
+            markers_.add(sim_.now(), MarkerKind::Exclude, self, failed);
         };
-        hooks.onMemberUp = [&res, &sim](sim::NodeId self,
-                                        sim::NodeId joined) {
-            res.markers.add(sim.now(), MarkerKind::MemberUp, self,
-                            joined);
+        hooks.onMemberUp = [this](sim::NodeId self, sim::NodeId joined) {
+            markers_.add(sim_.now(), MarkerKind::MemberUp, self, joined);
         };
-        hooks.onFailFast = [&res, &sim](sim::NodeId self,
-                                        const std::string &why) {
-            res.markers.add(sim.now(), MarkerKind::FailFast, self,
-                            sim::invalidNode, why);
+        hooks.onFailFast = [this](sim::NodeId self,
+                                  const std::string &why) {
+            markers_.add(sim_.now(), MarkerKind::FailFast, self,
+                         sim::invalidNode, why);
         };
-        hooks.onGiveUp = [&res, &sim](sim::NodeId self) {
-            res.markers.add(sim.now(), MarkerKind::GiveUp, self);
+        hooks.onGiveUp = [this](sim::NodeId self) {
+            markers_.add(sim_.now(), MarkerKind::GiveUp, self);
         };
-        hooks.onStarted = [&res, &sim](sim::NodeId self) {
-            res.markers.add(sim.now(), MarkerKind::Started, self);
+        hooks.onStarted = [this](sim::NodeId self) {
+            markers_.add(sim_.now(), MarkerKind::Started, self);
         };
-        cluster.server(i).setHooks(hooks);
+        cluster_->server(i).setHooks(hooks);
     }
 
-    fault::Injector injector(sim, cluster);
-    injector.setEventFn([&res](sim::Tick t, const std::string &what,
-                               sim::NodeId node) {
+    injector_ = std::make_unique<fault::Injector>(sim_, *cluster_);
+    injector_->setEventFn([this](sim::Tick t, const std::string &what,
+                                 sim::NodeId node) {
         MarkerKind k = what.rfind("inject", 0) == 0 ? MarkerKind::Inject
                                                     : MarkerKind::Recover;
-        res.markers.add(t, k, node, sim::invalidNode, what);
+        markers_.add(t, k, node, sim::invalidNode, what);
     });
 
+    // Snapshot wiring, bottom-up: the simulation core first (clock,
+    // RNG, event queue), then every cluster component, the load
+    // generator, and finally the experiment's own marker log.
+    registry_.attach(sim_);
+    cluster_->registerWith(registry_);
+    farm_->registerWith(registry_);
+    registry_.add(
+        [this] { return std::make_shared<const MarkerLog>(markers_); },
+        [this](const void *s) {
+            markers_ = *static_cast<const MarkerLog *>(s);
+        });
+}
+
+void
+Experiment::warmUp()
+{
     // Bring the world up: form the cluster, pre-warm the caches to
     // the steady-state file placement, then open the client valves.
-    cluster.startAll();
-    sim.runUntil(sim::sec(2));
-    cluster.prewarm(cfg.workload.numFiles);
-    farm.start();
+    cluster_->startAll();
+    sim_.runUntil(sim::sec(2));
+    cluster_->prewarm(cfg_.workload.numFiles);
+    farm_->start();
 
-    if (cfg.fault) {
-        fault::FaultSpec spec = *cfg.fault;
-        spec.injectAt = cfg.injectAt;
-        injector.schedule(spec);
-    }
-
-    if (cfg.operatorResetAt) {
-        sim.schedule(*cfg.operatorResetAt, [&] {
-            res.markers.add(sim.now(), MarkerKind::OperatorReset);
-            cluster.operatorReset();
+    if (cfg_.operatorResetAt) {
+        sim_.schedule(*cfg_.operatorResetAt, [this] {
+            markers_.add(sim_.now(), MarkerKind::OperatorReset);
+            cluster_->operatorReset();
         });
     }
 
-    sim.runUntil(cfg.duration);
-    farm.stop();
+    // Drive the fault-free phase. Every event at or before injectAt
+    // executes and the clock stops at exactly injectAt, so both the
+    // fresh and the fork path see an identical world at the fault
+    // point.
+    sim_.runUntil(cfg_.injectAt);
+    warmed_ = true;
+}
 
-    // Copy out the series.
-    res.served = farm.served();
-    res.failed = farm.failed();
-    res.offered = farm.offered();
-    res.latency = farm.stealTimeline();
+sim::Snapshot
+Experiment::snapshot() const
+{
+    return registry_.capture();
+}
+
+void
+Experiment::forkFrom(const sim::Snapshot &snap)
+{
+    registry_.forkFrom(snap);
+}
+
+ExperimentResult
+Experiment::injectAndMeasure(const std::optional<fault::FaultSpec> &f,
+                             sim::Tick duration)
+{
+    if (!warmed_)
+        PANIC("injectAndMeasure() before warmUp()");
+    if (duration == 0)
+        duration = cfg_.duration;
+
+    if (f) {
+        fault::FaultSpec spec = *f;
+        spec.injectAt = cfg_.injectAt;
+        injector_->injectNow(spec);
+    }
+
+    sim_.runUntil(duration);
+    farm_->stop();
+
+    ExperimentResult res;
+    res.injectAt = cfg_.injectAt;
+    res.runLength = duration;
+    res.markers = markers_;
+
+    // Copy out the series (they span the whole run, warm-up included).
+    res.served = farm_->served();
+    res.failed = farm_->failed();
+    res.offered = farm_->offered();
+    res.latency = farm_->timeline();
 
     // Steady-state throughput just before injection (or over the
     // second half of a fault-free run).
-    sim::Tick t_from = cfg.fault ? cfg.injectAt - sim::sec(20)
-                                 : cfg.duration / 2;
-    sim::Tick t_to = cfg.fault ? cfg.injectAt : cfg.duration;
+    sim::Tick t_from = f ? cfg_.injectAt - sim::sec(20) : duration / 2;
+    sim::Tick t_to = f ? cfg_.injectAt : duration;
     res.normalThroughput = res.served.meanRate(t_from, t_to);
 
     res.availability =
-        farm.totalOffered()
-            ? static_cast<double>(farm.totalServed()) /
-                  static_cast<double>(farm.totalOffered())
+        farm_->totalOffered()
+            ? static_cast<double>(farm_->totalServed()) /
+                  static_cast<double>(farm_->totalOffered())
             : 0.0;
 
-    for (std::uint32_t i = 0; i < cluster.numNodes(); ++i)
-        res.finalMembers.push_back(cluster.server(i).members().size());
-    res.endSplintered = cluster.splintered();
+    for (std::uint32_t i = 0; i < cluster_->numNodes(); ++i)
+        res.finalMembers.push_back(cluster_->server(i).members().size());
+    res.endSplintered = cluster_->splintered();
 
-    net::Network &intra = cluster.intraNet();
+    net::Network &intra = cluster_->intraNet();
     for (std::size_t p = 0; p < intra.numPorts(); ++p)
         res.intraPortStats.push_back(
             intra.portStats(static_cast<net::PortId>(p)));
 
     return res;
+}
+
+ExperimentResult
+Experiment::injectAndMeasure()
+{
+    return injectAndMeasure(cfg_.fault);
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    Experiment e(cfg);
+    e.warmUp();
+    return e.injectAndMeasure();
 }
 
 } // namespace performa::exp

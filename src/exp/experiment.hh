@@ -12,11 +12,16 @@
 #include <set>
 #include <vector>
 
+#include <memory>
+
 #include "exp/markers.hh"
 #include "faults/fault.hh"
+#include "faults/injector.hh"
 #include "net/network.hh"
 #include "press/cluster.hh"
 #include "sim/latency_histogram.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 #include "sim/time_series.hh"
 #include "loadgen/client_farm.hh"
 #include "loadgen/load_profile.hh"
@@ -76,6 +81,67 @@ struct ExperimentResult
     {
         return served.meanRate(from, to);
     }
+};
+
+/**
+ * One phase-1 world, split into a fault-free warm phase and an
+ * inject-and-measure phase so a whole fault grid can share one
+ * warm-up:
+ *
+ *   Experiment e(cfg);
+ *   e.warmUp();                       // [0, cfg.injectAt], no fault
+ *   sim::Snapshot snap = e.snapshot();
+ *   for (auto &fault : grid) {
+ *       e.forkFrom(snap);             // rewind to the warm point
+ *       auto res = e.injectAndMeasure(fault);
+ *   }
+ *
+ * The fresh path (runExperiment) is warmUp() followed directly by
+ * injectAndMeasure() — no snapshot round-trip — so fork-vs-fresh
+ * byte-equality genuinely tests restore fidelity.
+ *
+ * In both paths the fault is applied at exactly cfg.injectAt, after
+ * every event scheduled at or before that tick has executed.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig cfg);
+
+    /** Build the world and run the fault-free phase [0, injectAt];
+     *  the clock is left at exactly cfg.injectAt. */
+    void warmUp();
+
+    /** Capture the warmed world (call right after warmUp()). */
+    sim::Snapshot snapshot() const;
+
+    /** Rewind the world to @p snap (the warm-up point). */
+    void forkFrom(const sim::Snapshot &snap);
+
+    /** Inject @p f (if any) at the warm-up point, run to
+     *  @p duration (0 = cfg.duration; must be <= cfg.duration so the
+     *  reserved series capacity covers it) and collect the result.
+     *  Callable repeatedly, once per forkFrom(). */
+    ExperimentResult
+    injectAndMeasure(const std::optional<fault::FaultSpec> &f,
+                     sim::Tick duration = 0);
+
+    /** Inject-and-measure with the config's own fault. */
+    ExperimentResult injectAndMeasure();
+
+    const ExperimentConfig &config() const { return cfg_; }
+    press::Cluster &cluster() { return *cluster_; }
+    sim::Simulation &sim() { return sim_; }
+
+  private:
+    ExperimentConfig cfg_;
+    sim::Simulation sim_;
+    std::unique_ptr<press::Cluster> cluster_;
+    std::unique_ptr<wl::LoadGenerator> farm_;
+    std::unique_ptr<fault::Injector> injector_;
+    MarkerLog markers_;
+    sim::SnapshotRegistry registry_;
+    bool warmed_ = false;
 };
 
 /**

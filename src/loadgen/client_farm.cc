@@ -4,6 +4,7 @@
 
 #include "press/messages.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace performa::loadgen {
 
@@ -119,6 +120,60 @@ ClientFarm::onResponse(net::Frame &&f)
     pending_.erase(it);
     ++totalServed_;
     served_.record(sim_.now());
+}
+
+ClientFarm::Saved
+ClientFarm::save() const
+{
+    Saved s;
+    s.splitRng = splitRng_;
+    s.running = running_;
+    s.generation = generation_;
+    s.nextReq = nextReq_;
+    s.rrServer = rrServer_;
+    s.rrClient = rrClient_;
+    s.pending = pending_;
+    s.served = served_;
+    s.failed = failed_;
+    s.offered = offered_;
+    s.latency = latency_;
+    s.timeline = timeline_;
+    s.totalServed = totalServed_;
+    s.totalFailed = totalFailed_;
+    s.totalOffered = totalOffered_;
+    return s;
+}
+
+void
+ClientFarm::restore(const Saved &s)
+{
+    splitRng_ = s.splitRng;
+    running_ = s.running;
+    generation_ = s.generation;
+    nextReq_ = s.nextReq;
+    rrServer_ = s.rrServer;
+    rrClient_ = s.rrClient;
+    pending_ = s.pending;
+    served_ = s.served;
+    failed_ = s.failed;
+    offered_ = s.offered;
+    latency_ = s.latency;
+    timeline_ = s.timeline;
+    totalServed_ = s.totalServed;
+    totalFailed_ = s.totalFailed;
+    totalOffered_ = s.totalOffered;
+    // The copies above carry capacity == size; re-reserve so recording
+    // stays allocation-free for the rest of the forked run, as the
+    // constructor arranged for a fresh one.
+    served_.reserve(profile_.reserveSlices);
+    failed_.reserve(profile_.reserveSlices);
+    offered_.reserve(profile_.reserveSlices);
+}
+
+void
+ClientFarm::registerWith(sim::SnapshotRegistry &reg)
+{
+    reg.attach(*this);
 }
 
 void

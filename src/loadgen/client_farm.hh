@@ -94,6 +94,14 @@ class ClientFarm : public LoadGenerator
     const LoadProfileSpec &profile() const { return profile_; }
     const sim::ZipfSampler &popularity() const { return zipf_; }
 
+    /** Snapshot state: generation counters, in-flight requests, RNG
+     *  stream and the recorded series/histograms. */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+    void registerWith(sim::SnapshotRegistry &reg) override;
+
   private:
     struct Pending
     {
@@ -135,6 +143,25 @@ class ClientFarm : public LoadGenerator
     std::uint64_t totalServed_ = 0;
     std::uint64_t totalFailed_ = 0;
     std::uint64_t totalOffered_ = 0;
+};
+
+struct ClientFarm::Saved
+{
+    sim::Rng splitRng;
+    bool running;
+    std::uint64_t generation;
+    sim::RequestId nextReq;
+    std::size_t rrServer;
+    std::size_t rrClient;
+    std::unordered_map<sim::RequestId, Pending> pending;
+    sim::TimeSeries served;
+    sim::TimeSeries failed;
+    sim::TimeSeries offered;
+    sim::OnlineStats latency;
+    sim::StageLatencyTimeline timeline;
+    std::uint64_t totalServed;
+    std::uint64_t totalFailed;
+    std::uint64_t totalOffered;
 };
 
 } // namespace performa::loadgen

@@ -22,6 +22,10 @@ namespace performa::press {
 struct ClientResponseBody;
 }
 
+namespace performa::sim {
+class SnapshotRegistry;
+}
+
 namespace performa::loadgen {
 
 struct LoadProfileSpec;
@@ -49,6 +53,10 @@ class LoadGenerator
     virtual const sim::StageLatencyTimeline &timeline() const = 0;
     /** Move the timeline out (experiment teardown). */
     virtual sim::StageLatencyTimeline stealTimeline() = 0;
+
+    /** Attach this generator's mutable state to a snapshot registry
+     *  (each concrete farm registers its own Saved type). */
+    virtual void registerWith(sim::SnapshotRegistry &reg) = 0;
 };
 
 /**

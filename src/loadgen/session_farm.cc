@@ -4,6 +4,7 @@
 
 #include "press/messages.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace performa::loadgen {
 
@@ -193,6 +194,55 @@ SessionFarm::expire(std::size_t idx, std::uint32_t seq)
     ++completedSessions_;
     if (running_)
         beginSession(idx);
+}
+
+SessionFarm::Saved
+SessionFarm::save() const
+{
+    Saved s;
+    s.rng = rng_;
+    s.running = running_;
+    s.generation = generation_;
+    s.rrServer = rrServer_;
+    s.sessions = sessions_;
+    s.served = served_;
+    s.failed = failed_;
+    s.offered = offered_;
+    s.timeline = timeline_;
+    s.totalServed = totalServed_;
+    s.totalFailed = totalFailed_;
+    s.totalOffered = totalOffered_;
+    s.completedSessions = completedSessions_;
+    return s;
+}
+
+void
+SessionFarm::restore(const Saved &s)
+{
+    rng_ = s.rng;
+    running_ = s.running;
+    generation_ = s.generation;
+    rrServer_ = s.rrServer;
+    sessions_ = s.sessions;
+    served_ = s.served;
+    failed_ = s.failed;
+    offered_ = s.offered;
+    timeline_ = s.timeline;
+    totalServed_ = s.totalServed;
+    totalFailed_ = s.totalFailed;
+    totalOffered_ = s.totalOffered;
+    completedSessions_ = s.completedSessions;
+    // Re-reserve series capacity lost by the copy so steady-state
+    // recording stays allocation-free after a fork.
+    served_.reserve(profile_.reserveSlices);
+    failed_.reserve(profile_.reserveSlices);
+    offered_.reserve(profile_.reserveSlices);
+}
+
+void
+SessionFarm::registerWith(sim::SnapshotRegistry &reg)
+{
+    reg.attach(*this);
 }
 
 } // namespace performa::loadgen

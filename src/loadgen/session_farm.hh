@@ -69,6 +69,15 @@ class SessionFarm : public LoadGenerator
     std::uint64_t completedSessions() const { return completedSessions_; }
     const WorkloadConfig &config() const { return cfg_; }
 
+    /** Snapshot state: the session table (expiry EventHandles stay
+     *  valid because the event queue restores slot-for-slot), RNG
+     *  stream and recorded series/histograms. */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+    void registerWith(sim::SnapshotRegistry &reg) override;
+
   private:
     struct Session
     {
@@ -115,6 +124,23 @@ class SessionFarm : public LoadGenerator
     std::uint64_t totalFailed_ = 0;
     std::uint64_t totalOffered_ = 0;
     std::uint64_t completedSessions_ = 0;
+};
+
+struct SessionFarm::Saved
+{
+    sim::Rng rng;
+    bool running;
+    std::uint64_t generation;
+    std::size_t rrServer;
+    std::vector<Session> sessions;
+    sim::TimeSeries served;
+    sim::TimeSeries failed;
+    sim::TimeSeries offered;
+    sim::StageLatencyTimeline timeline;
+    std::uint64_t totalServed;
+    std::uint64_t totalFailed;
+    std::uint64_t totalOffered;
+    std::uint64_t completedSessions;
 };
 
 } // namespace performa::loadgen

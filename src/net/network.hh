@@ -132,6 +132,19 @@ class Network
     /** Number of ports (for stats iteration). */
     std::size_t numPorts() const { return ports_.size(); }
 
+    /**
+     * Snapshot state: per-port fault/serialization/counter state, the
+     * fabric-wide flags and counters, and the in-flight slab (frames
+     * copy by payload-refcount bump). Port handlers are configuration
+     * wired at construction and are not part of the saved state; the
+     * in-flight slab is restored slot for slot so pending delivery
+     * events (which capture {this, slot}) find their frames again.
+     */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+
   private:
     struct Port
     {
@@ -175,6 +188,26 @@ class Network
     std::uint64_t delivered_ = 0;
     std::vector<InFlight> inflight_;
     std::uint32_t freeHead_ = noSlot;
+};
+
+struct Network::Saved
+{
+    /** Mutable half of a Port (the handler stays wired in place). */
+    struct PortState
+    {
+        bool up;
+        bool linkUp;
+        sim::Tick txBusyUntil;
+        sim::Tick rxBusyUntil;
+        PortStats stats;
+    };
+
+    std::vector<PortState> ports;
+    bool switchUp;
+    std::uint64_t dropped;
+    std::uint64_t delivered;
+    std::vector<InFlight> inflight;
+    std::uint32_t freeHead;
 };
 
 } // namespace performa::net

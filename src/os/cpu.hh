@@ -60,6 +60,13 @@ class Cpu
     /** Total microseconds of work retired (utilization accounting). */
     sim::Tick busyTime() const { return busyTime_; }
 
+    /** Snapshot state: run queue and in-flight item (completions
+     *  clone()d), pause depth, generation and accounting. */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+
   private:
     struct Item
     {
@@ -78,6 +85,16 @@ class Cpu
     int pauseCount_ = 0;
     std::uint64_t generation_ = 0; ///< invalidates in-flight completions
     sim::Tick busyTime_ = 0;
+};
+
+struct Cpu::Saved
+{
+    sim::RingBuffer<Item> queue;
+    Item inflight;
+    bool running;
+    int pauseCount;
+    std::uint64_t generation;
+    sim::Tick busyTime;
 };
 
 } // namespace performa::osim

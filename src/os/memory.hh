@@ -65,6 +65,22 @@ class KernelMemory
         failInjected_ = false;
     }
 
+    /** Snapshot state (capacity is configuration). */
+    struct Saved
+    {
+        std::uint64_t used;
+        bool failInjected;
+    };
+
+    Saved save() const { return Saved{used_, failInjected_}; }
+
+    void
+    restore(const Saved &s)
+    {
+        used_ = s.used;
+        failInjected_ = s.failInjected;
+    }
+
   private:
     std::uint64_t capacity_;
     std::uint64_t used_ = 0;
@@ -124,6 +140,22 @@ class PinManager
     {
         pinned_ = 0;
         injectedLimit_ = ~std::uint64_t(0);
+    }
+
+    /** Snapshot state (the configured limit is not mutable). */
+    struct Saved
+    {
+        std::uint64_t pinned;
+        std::uint64_t injectedLimit;
+    };
+
+    Saved save() const { return Saved{pinned_, injectedLimit_}; }
+
+    void
+    restore(const Saved &s)
+    {
+        pinned_ = s.pinned;
+        injectedLimit_ = s.injectedLimit;
     }
 
   private:

@@ -123,6 +123,39 @@ class Node
     void onUnfreeze(std::function<void()> fn) { unfreezeFns_.push_back(fn); }
     /** @} */
 
+    /**
+     * Snapshot state: lifecycle plus the owned CPU/memory managers.
+     * The attached service and lifecycle callbacks are wiring, saved
+     * by their own components (press::Server) or not mutable at all.
+     */
+    struct Saved
+    {
+        State state;
+        std::uint64_t incarnation;
+        bool restartPending;
+        Cpu::Saved cpu;
+        KernelMemory::Saved kernelMem;
+        PinManager::Saved pins;
+    };
+
+    Saved
+    save() const
+    {
+        return Saved{state_,           incarnation_,     restartPending_,
+                     cpu_.save(),      kernelMem_.save(), pins_.save()};
+    }
+
+    void
+    restore(const Saved &s)
+    {
+        state_ = s.state;
+        incarnation_ = s.incarnation;
+        restartPending_ = s.restartPending;
+        cpu_.restore(s.cpu);
+        kernelMem_.restore(s.kernelMem);
+        pins_.restore(s.pins);
+    }
+
   private:
     void setPorts(bool up);
     void reboot();

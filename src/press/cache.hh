@@ -125,6 +125,21 @@ class FileCache
     /** Iterate cached files in MRU-to-LRU order. */
     const std::list<sim::FileId> &files() const { return lru_; }
 
+    /**
+     * Snapshot support: rebuild the contents from a saved MRU-to-LRU
+     * file list WITHOUT firing pin or evict hooks — the pin accounting
+     * a restore implies is rewound wholesale by the node's PinManager
+     * state, so re-running the hooks would double-count it.
+     */
+    void
+    restoreFiles(const std::list<sim::FileId> &mru_to_lru)
+    {
+        lru_ = mru_to_lru;
+        index_.clear();
+        for (auto it = lru_.begin(); it != lru_.end(); ++it)
+            index_[*it] = it;
+    }
+
   private:
     std::size_t capacityFiles_;
     std::uint64_t fileBytes_;

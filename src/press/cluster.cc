@@ -6,6 +6,7 @@
 
 #include "proto/tcp.hh"
 #include "proto/via.hh"
+#include "sim/logging.hh"
 
 namespace performa::press {
 
@@ -83,6 +84,25 @@ Cluster::operatorReset()
         srv->markColdStart();
     for (auto &node : nodes_)
         node->operatorRestartService();
+}
+
+void
+Cluster::registerWith(sim::SnapshotRegistry &reg)
+{
+    reg.attach(*intraNet_);
+    reg.attach(*clientNet_);
+    for (std::uint32_t i = 0; i < cfg_.press.numNodes; ++i) {
+        reg.attach(*nodes_[i]);
+        reg.attach(servers_[i]->interposer());
+        proto::ClusterComm &inner = servers_[i]->interposer().inner();
+        if (auto *via = dynamic_cast<proto::ViaComm *>(&inner))
+            reg.attach(*via);
+        else if (auto *tcp = dynamic_cast<proto::TcpComm *>(&inner))
+            reg.attach(*tcp);
+        else
+            PANIC("unknown comm endpoint type in snapshot registration");
+        reg.attach(*servers_[i]);
+    }
 }
 
 bool

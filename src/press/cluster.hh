@@ -18,6 +18,7 @@
 #include "press/config.hh"
 #include "press/server.hh"
 #include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 
 namespace performa::press {
 
@@ -81,6 +82,14 @@ class Cluster
      * serving node).
      */
     bool splintered() const;
+
+    /**
+     * Attach every mutable component of the testbed to @p reg, in
+     * deterministic bottom-up order (fabrics, then per node: OS state,
+     * interposer, comm endpoint, server). Load generators and the
+     * Simulation core register themselves separately.
+     */
+    void registerWith(sim::SnapshotRegistry &reg);
 
   private:
     sim::Simulation &sim_;

@@ -57,6 +57,22 @@ class DiskArray
 
     std::uint64_t reads() const { return reads_; }
 
+    /** Snapshot state: per-disk booking horizon and the read count. */
+    struct Saved
+    {
+        std::vector<sim::Tick> freeAt;
+        std::uint64_t reads;
+    };
+
+    Saved save() const { return Saved{freeAt_, reads_}; }
+
+    void
+    restore(const Saved &s)
+    {
+        freeAt_ = s.freeAt;
+        reads_ = s.reads;
+    }
+
     /** Mean queue depth proxy: how far ahead of now the disks are booked. */
     sim::Tick
     backlog() const

@@ -69,6 +69,25 @@ Server::scheduleEpoch(sim::Tick delay, std::function<void()> fn)
 }
 
 void
+Server::makeFreshCache()
+{
+    cache_ = std::make_unique<FileCache>(cfg_.cacheBytes, cfg_.fileBytes);
+    if (usesDynamicPinning(cfg_.version) && !cfg_.staticPinning) {
+        auto *via = dynamic_cast<proto::ViaComm *>(&comm_->inner());
+        if (!via)
+            PANIC("dynamic pinning requires the VIA substrate");
+        cache_->setPinHooks(
+            [this, via](std::uint64_t bytes) {
+                bool ok = via->registerMemory(bytes);
+                if (!ok)
+                    ++stats_.pinFailures;
+                return ok;
+            },
+            [via](std::uint64_t bytes) { via->deregisterMemory(bytes); });
+    }
+}
+
+void
 Server::start()
 {
     ++epoch_;
@@ -91,20 +110,8 @@ Server::start()
     // per file (the paper's implementation, exposed to pin
     // exhaustion) or as one static region at start-up (the Section 7
     // pre-allocation extension).
-    cache_ = std::make_unique<FileCache>(cfg_.cacheBytes, cfg_.fileBytes);
+    makeFreshCache();
     auto *via = dynamic_cast<proto::ViaComm *>(&comm_->inner());
-    if (usesDynamicPinning(cfg_.version) && !cfg_.staticPinning) {
-        if (!via)
-            PANIC("dynamic pinning requires the VIA substrate");
-        cache_->setPinHooks(
-            [this, via](std::uint64_t bytes) {
-                bool ok = via->registerMemory(bytes);
-                if (!ok)
-                    ++stats_.pinFailures;
-                return ok;
-            },
-            [via](std::uint64_t bytes) { via->deregisterMemory(bytes); });
-    }
 
     comm_->start();
     if (via && via->started() && usesDynamicPinning(cfg_.version) &&
@@ -1013,6 +1020,73 @@ Server::sweepTick()
             ++it;
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot support
+// ---------------------------------------------------------------------
+
+Server::Saved
+Server::save() const
+{
+    Saved s;
+    s.alive = alive_;
+    s.stopped = stopped_;
+    s.coldStart = coldStart_;
+    s.epoch = epoch_;
+    s.members = members_;
+    s.loads = loads_;
+    s.directory = directory_;
+    s.hasCache = cache_ != nullptr;
+    if (cache_)
+        s.cacheFiles = cache_->files();
+    s.disk = disk_->save();
+    s.pendingFwd = pendingFwd_;
+    s.outstanding = outstanding_;
+    s.pendingSends = pendingSends_;
+    s.stalled = stalled_;
+    s.mainQ = mainQ_;
+    s.mainBusy = mainBusy_;
+    s.joinTries = joinTries_;
+    s.joinResponded = joinResponded_;
+    s.lastHbAt = lastHbAt_;
+    s.stats = stats_;
+    s.stallStartedAt = stallStartedAt_;
+    return s;
+}
+
+void
+Server::restore(const Saved &s)
+{
+    alive_ = s.alive;
+    stopped_ = s.stopped;
+    coldStart_ = s.coldStart;
+    epoch_ = s.epoch;
+    members_ = s.members;
+    loads_ = s.loads;
+    directory_ = s.directory;
+    if (s.hasCache) {
+        // Recreate the cache so it carries the same pin-hook closures
+        // a fresh start() would install, then rebuild its contents
+        // without firing the hooks — the pin accounting is rewound
+        // wholesale by the node's PinManager / VIA endpoint state.
+        makeFreshCache();
+        cache_->restoreFiles(s.cacheFiles);
+    } else {
+        cache_.reset();
+    }
+    disk_->restore(s.disk);
+    pendingFwd_ = s.pendingFwd;
+    outstanding_ = s.outstanding;
+    pendingSends_ = s.pendingSends;
+    stalled_ = s.stalled;
+    mainQ_ = s.mainQ;
+    mainBusy_ = s.mainBusy;
+    joinTries_ = s.joinTries;
+    joinResponded_ = s.joinResponded;
+    lastHbAt_ = s.lastHbAt;
+    stats_ = s.stats;
+    stallStartedAt_ = s.stallStartedAt;
 }
 
 } // namespace performa::press

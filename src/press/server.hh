@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <set>
@@ -125,6 +126,14 @@ class Server : public osim::Service
      */
     void prewarmFile(sim::FileId f, sim::NodeId owner);
 
+    /** Snapshot state: everything mutable in the process — membership,
+     *  directory, cache contents, queued work, counters. The comm
+     *  endpoint below us saves itself via its own hook. */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+
   private:
     // -- client side ---------------------------------------------------
     void onClientFrame(net::Frame &&f);
@@ -208,6 +217,13 @@ class Server : public osim::Service
     void scheduleEpoch(sim::Tick delay, std::function<void()> fn);
     void sweepTick();
 
+    /**
+     * (Re)create the cache with the version-appropriate pin hooks.
+     * Used by start() and by snapshot restore so a restored cache gets
+     * the exact same hook closures a fresh start would install.
+     */
+    void makeFreshCache();
+
     osim::Node &node_;
     PressConfig cfg_;
     std::unique_ptr<proto::FaultInterposer> comm_;
@@ -240,7 +256,10 @@ class Server : public osim::Service
         sim::Tick reqSentAt = 0;
         sim::Tick reqAcceptedAt = 0;
     };
-    std::unordered_map<sim::RequestId, PendingFwd> pendingFwd_;
+    // Ordered: excludeNode() re-dispatches entries in iteration order
+    // (scheduling main-loop work per entry) and sweepTick() walks it,
+    // so the order must be deterministic for byte-identical runs.
+    std::map<sim::RequestId, PendingFwd> pendingFwd_;
     std::size_t outstanding_ = 0;
 
     // blocking-send state
@@ -266,6 +285,44 @@ class Server : public osim::Service
     // stats
     ServerStats stats_;
     sim::Tick stallStartedAt_ = 0;
+};
+
+struct Server::Saved
+{
+    // process state
+    bool alive;
+    bool stopped;
+    bool coldStart;
+    std::uint64_t epoch;
+
+    // cluster state
+    std::set<sim::NodeId> members;
+    std::map<sim::NodeId, std::uint32_t> loads;
+    Directory directory;
+    bool hasCache;                      ///< cache_ existed (post-start)
+    std::list<sim::FileId> cacheFiles;  ///< MRU-to-LRU contents
+    DiskArray::Saved disk;
+
+    // request state
+    std::map<sim::RequestId, PendingFwd> pendingFwd;
+    std::size_t outstanding;
+
+    // blocking-send state
+    std::deque<std::pair<sim::NodeId, proto::AppMessage>> pendingSends;
+    bool stalled;
+
+    // main-loop queue (fn closures are copyable by construction)
+    std::deque<MainItem> mainQ;
+    bool mainBusy;
+
+    // join + heartbeat state
+    int joinTries;
+    bool joinResponded;
+    sim::Tick lastHbAt;
+
+    // stats
+    ServerStats stats;
+    sim::Tick stallStartedAt;
 };
 
 } // namespace performa::press

@@ -105,6 +105,25 @@ class FaultInterposer : public ClusterComm
         return inner_->sendCost(bytes);
     }
 
+    /** Snapshot state: the armed-corruption latches (the inner comm
+     *  endpoint is saved by its own hook). */
+    struct Saved
+    {
+        std::optional<Corruption> armedSend;
+        std::optional<Corruption> armedRecv;
+        int armedN;
+    };
+
+    Saved save() const { return Saved{armedSend_, armedRecv_, armedN_}; }
+
+    void
+    restore(const Saved &s)
+    {
+        armedSend_ = s.armedSend;
+        armedRecv_ = s.armedRecv;
+        armedN_ = s.armedN;
+    }
+
   private:
     std::unique_ptr<ClusterComm> inner_;
     CommCallbacks userCbs_;

@@ -612,6 +612,54 @@ TcpComm::handleAck(const net::Frame &f)
     pump(c);
 }
 
+TcpComm::Conn
+TcpComm::cloneConn(const Conn &c)
+{
+    Conn out;
+    out.id = c.id;
+    out.peer = c.peer;
+    out.established = c.established;
+    out.sndQueue = c.sndQueue.clone();
+    out.sndBytes = c.sndBytes;
+    out.seqNext = c.seqNext;
+    out.inFlight = c.inFlight;
+    out.skbufHeld = c.skbufHeld;
+    out.rto = c.rto;
+    out.firstFailAt = c.firstFailAt;
+    out.rtoTimer = c.rtoTimer;
+    out.memRetryTimer = c.memRetryTimer;
+    out.senderBlocked = c.senderBlocked;
+    out.synTries = c.synTries;
+    out.synTimer = c.synTimer;
+    out.seqExpected = c.seqExpected;
+    out.rcvQueue = c.rcvQueue.clone();
+    out.scheduledDeliveries = c.scheduledDeliveries;
+    return out;
+}
+
+TcpComm::Saved
+TcpComm::save() const
+{
+    Saved s;
+    s.listening = listening_;
+    s.appReceiving = appReceiving_;
+    for (const auto &[id, c] : conns_)
+        s.conns.emplace(id, cloneConn(c));
+    s.active = active_;
+    return s;
+}
+
+void
+TcpComm::restore(const Saved &s)
+{
+    listening_ = s.listening;
+    appReceiving_ = s.appReceiving;
+    conns_.clear();
+    for (const auto &[id, c] : s.conns)
+        conns_.emplace(id, cloneConn(c));
+    active_ = s.active;
+}
+
 void
 TcpComm::maybeUnblockSender(Conn &c)
 {

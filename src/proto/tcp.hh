@@ -28,6 +28,7 @@
 #define PERFORMA_PROTO_TCP_HH
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 
 #include "net/frame.hh"
@@ -99,6 +100,13 @@ class TcpComm : public ClusterComm
     sim::Tick sendCost(std::uint64_t bytes) const override;
 
     const TcpConfig &config() const { return cfg_; }
+
+    /** Snapshot state: listen/receive flags and every connection
+     *  (queues deep-copied, payload handles refcount-bumped). */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
 
   private:
     enum FrameKind : std::uint32_t
@@ -194,10 +202,26 @@ class TcpComm : public ClusterComm
     std::unordered_map<sim::NodeId, net::PortId> peerPorts_;
     std::unordered_map<net::PortId, sim::NodeId> portPeers_;
 
+    /** Deep-copy @p c (ring buffers cloned; timer handles are plain
+     *  {slot, gen} triples that stay valid across a queue restore). */
+    static Conn cloneConn(const Conn &c);
+
     bool listening_ = false;
     bool appReceiving_ = true;
-    std::unordered_map<std::uint64_t, Conn> conns_;
-    std::unordered_map<sim::NodeId, std::uint64_t> active_;
+    // Ordered maps, deliberately: shutdown()/setAppReceiving()/reset()
+    // iterate the connection table with wire- and CPU-visible side
+    // effects, so iteration order must be identical between a warmed
+    // endpoint and its snapshot-restored fork.
+    std::map<std::uint64_t, Conn> conns_;
+    std::map<sim::NodeId, std::uint64_t> active_;
+};
+
+struct TcpComm::Saved
+{
+    bool listening;
+    bool appReceiving;
+    std::map<std::uint64_t, Conn> conns; ///< deep copies
+    std::map<sim::NodeId, std::uint64_t> active;
 };
 
 } // namespace performa::proto

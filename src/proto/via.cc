@@ -487,6 +487,49 @@ ViaComm::handleData(net::Frame &&f)
     scheduleDeliveries(vi);
 }
 
+ViaComm::Vi
+ViaComm::cloneVi(const Vi &vi)
+{
+    Vi out;
+    out.id = vi.id;
+    out.peer = vi.peer;
+    out.established = vi.established;
+    out.remoteCredits = vi.remoteCredits;
+    out.sndQueue = vi.sndQueue.clone();
+    out.inFlight = vi.inFlight;
+    out.senderBlocked = vi.senderBlocked;
+    out.rcvQueue = vi.rcvQueue.clone();
+    out.scheduledDeliveries = vi.scheduledDeliveries;
+    out.connTries = vi.connTries;
+    out.connTimer = vi.connTimer;
+    return out;
+}
+
+ViaComm::Saved
+ViaComm::save() const
+{
+    Saved s;
+    s.listening = listening_;
+    s.appReceiving = appReceiving_;
+    s.pinnedByUs = pinnedByUs_;
+    for (const auto &[id, vi] : vis_)
+        s.vis.emplace(id, cloneVi(vi));
+    s.active = active_;
+    return s;
+}
+
+void
+ViaComm::restore(const Saved &s)
+{
+    listening_ = s.listening;
+    appReceiving_ = s.appReceiving;
+    pinnedByUs_ = s.pinnedByUs;
+    vis_.clear();
+    for (const auto &[id, vi] : s.vis)
+        vis_.emplace(id, cloneVi(vi));
+    active_ = s.active;
+}
+
 void
 ViaComm::scheduleDeliveries(Vi &vi)
 {

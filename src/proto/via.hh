@@ -108,6 +108,13 @@ class ViaComm : public ClusterComm
 
     const ViaConfig &config() const { return cfg_; }
 
+    /** Snapshot state: flags, pinned-byte accounting and every VI
+     *  (queues deep-copied, payload handles refcount-bumped). */
+    struct Saved;
+
+    Saved save() const;
+    void restore(const Saved &s);
+
   private:
     enum FrameKind : std::uint32_t
     {
@@ -175,11 +182,23 @@ class ViaComm : public ClusterComm
     std::unordered_map<sim::NodeId, net::PortId> peerPorts_;
     std::unordered_map<net::PortId, sim::NodeId> portPeers_;
 
+    /** Deep-copy @p vi (ring buffers cloned). */
+    static Vi cloneVi(const Vi &vi);
+
     bool listening_ = false;
     bool appReceiving_ = true;
     std::uint64_t pinnedByUs_ = 0; ///< total we registered (for reset)
     std::map<std::uint64_t, Vi> vis_;
     std::map<sim::NodeId, std::uint64_t> active_;
+};
+
+struct ViaComm::Saved
+{
+    bool listening;
+    bool appReceiving;
+    std::uint64_t pinnedByUs;
+    std::map<std::uint64_t, Vi> vis; ///< deep copies
+    std::map<sim::NodeId, std::uint64_t> active;
 };
 
 } // namespace performa::proto

@@ -132,6 +132,39 @@ EventQueue::runUntil(Tick limit)
         now_ = limit;
 }
 
+EventQueue::Saved
+EventQueue::save() const
+{
+    Saved s;
+    s.now = now_;
+    s.nextSeq = nextSeq_;
+    s.executed = executed_;
+    s.live = live_;
+    s.records.reserve(records_.size());
+    for (const Record &r : records_)
+        s.records.push_back(Record{r.fn.clone(), r.gen});
+    s.freeSlots = freeSlots_;
+    s.heap = heap_;
+    return s;
+}
+
+void
+EventQueue::restore(const Saved &s)
+{
+    now_ = s.now;
+    nextSeq_ = s.nextSeq;
+    executed_ = s.executed;
+    live_ = s.live;
+    // Rebuild the slab slot for slot (the slab may have grown past the
+    // snapshot during a previous fork's run; extra slots are dropped).
+    records_.clear();
+    records_.reserve(s.records.size());
+    for (const Record &r : s.records)
+        records_.push_back(Record{r.fn.clone(), r.gen});
+    freeSlots_ = s.freeSlots;
+    heap_ = s.heap;
+}
+
 void
 EventQueue::runAll(Tick limit)
 {

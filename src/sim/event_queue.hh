@@ -130,6 +130,22 @@ class EventQueue
     /** @return total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * A deep copy of the queue's full state: clock, sequence counter,
+     * the record slab (handlers clone()d), free list and heap. Taking
+     * one does not disturb the live queue; restore() rewinds the queue
+     * to it exactly, slot for slot, so outstanding EventHandle
+     * {slot, gen} triples from snapshot time become valid again.
+     */
+    struct Saved;
+
+    /** Capture the queue state (every pending handler must be
+     *  cloneable — see SmallFn::clone). */
+    Saved save() const;
+
+    /** Rewind the queue to @p s, discarding the current state. */
+    void restore(const Saved &s);
+
   private:
     friend class EventHandle;
 
@@ -186,6 +202,17 @@ class EventQueue
     std::vector<Record> records_;
     std::vector<std::uint32_t> freeSlots_;
     std::vector<HeapEntry> heap_;
+};
+
+struct EventQueue::Saved
+{
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+    std::size_t live = 0;
+    std::vector<Record> records; ///< handlers are clones
+    std::vector<std::uint32_t> freeSlots;
+    std::vector<HeapEntry> heap;
 };
 
 } // namespace performa::sim

@@ -103,6 +103,29 @@ template <typename T> class RingBuffer
         head_ = 0;
     }
 
+    /**
+     * Duplicate the ring, copying each element with @p copy (front to
+     * back). The clone reserves the source's full capacity up front so
+     * a restored queue keeps its warmed-up, allocation-free headroom.
+     */
+    template <typename CopyFn>
+    RingBuffer
+    clone(CopyFn &&copy) const
+    {
+        RingBuffer out;
+        out.reserve(cap_);
+        for (std::size_t i = 0; i < size_; ++i)
+            out.push_back(copy((*this)[i]));
+        return out;
+    }
+
+    /** clone() for copy-constructible element types. */
+    RingBuffer
+    clone() const
+    {
+        return clone([](const T &v) { return T(v); });
+    }
+
   private:
     static constexpr std::size_t minCapacity = 8;
 

@@ -89,6 +89,37 @@ class Simulation
 
     void runUntil(Tick limit) { events_.runUntil(limit); }
 
+    /**
+     * Snapshot state: RNG stream, id counter and the full event queue
+     * (handlers cloned). The payload pool itself is NOT part of the
+     * saved state — pooled blocks live at stable addresses until the
+     * pool is destroyed, and the Rc handles inside cloned handlers
+     * keep every block the snapshot needs referenced, so restoring is
+     * purely a matter of refcounts settling. Pool counters
+     * (freshAllocs/poolHits) therefore drift across forks; they are
+     * diagnostics, not behaviour.
+     */
+    struct Saved
+    {
+        Rng rng;
+        std::uint64_t nextId;
+        EventQueue::Saved events;
+    };
+
+    Saved
+    save() const
+    {
+        return Saved{rng_, nextId_, events_.save()};
+    }
+
+    void
+    restore(const Saved &s)
+    {
+        rng_ = s.rng;
+        nextId_ = s.nextId;
+        events_.restore(s.events);
+    }
+
   private:
     // The pool is declared before the event queue so it is destroyed
     // after it: pending events may hold Rc payload handles (in-flight

@@ -16,12 +16,16 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/logging.hh"
+
 namespace performa::sim {
 
 /**
  * A type-erased `void()` callable. Move-only (captures need not be
  * copyable), empty after being moved from, and invocable only while
- * non-empty.
+ * non-empty. Holders whose captures are copyable can additionally be
+ * clone()d — the snapshot/fork machinery duplicates a warmed event
+ * queue's handlers this way.
  */
 class SmallFn
 {
@@ -83,6 +87,28 @@ class SmallFn
     /** Invoke the held callable (must be non-empty). */
     void operator()() { ops_->invoke(buf_); }
 
+    /** @return true if the held callable can be clone()d (or empty). */
+    bool cloneable() const { return !ops_ || ops_->copy != nullptr; }
+
+    /**
+     * Duplicate the held callable (copy-constructing its captures).
+     * Every event handler in this tree captures only `this`, ids and
+     * refcounted handles, all copyable; a non-copyable capture would
+     * make its event unsnapshottable, so cloning one is a bug.
+     */
+    SmallFn
+    clone() const
+    {
+        SmallFn out;
+        if (ops_) {
+            if (!ops_->copy)
+                PANIC("cloning a SmallFn with non-copyable captures");
+            ops_->copy(out.buf_, buf_);
+            out.ops_ = ops_;
+        }
+        return out;
+    }
+
   private:
     struct Ops
     {
@@ -90,6 +116,9 @@ class SmallFn
         /** Move the callable from src into raw dst, destroying src. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *) noexcept;
+        /** Copy src into raw dst; null when the callable is not
+         *  copy-constructible (such a handler cannot be snapshotted). */
+        void (*copy)(void *dst, const void *src);
     };
 
     /**
@@ -116,6 +145,13 @@ class SmallFn
         }
 
         static void destroy(void *b) noexcept { static_cast<D *>(b)->~D(); }
+
+        static void
+        copy(void *dst, const void *src)
+        {
+            if constexpr (std::is_copy_constructible_v<D>)
+                ::new (dst) D(*static_cast<const D *>(src));
+        }
     };
 
     template <typename D>
@@ -138,17 +174,35 @@ class SmallFn
         }
 
         static void destroy(void *b) noexcept { delete get(b); }
+
+        static void
+        copy(void *dst, const void *src)
+        {
+            if constexpr (std::is_copy_constructible_v<D>) {
+                D *p;
+                std::memcpy(&p, src, sizeof p);
+                D *fresh = new D(*p);
+                std::memcpy(dst, &fresh, sizeof fresh);
+            }
+        }
     };
+
+    /** Copy op for @p Impl, or null when D is not copy-constructible. */
+    template <typename D, typename Impl>
+    static constexpr auto copyOp =
+        std::is_copy_constructible_v<D> ? &Impl::copy : nullptr;
 
     template <typename D>
     static constexpr Ops inlineOps = {&InlineImpl<D>::invoke,
                                       &InlineImpl<D>::relocate,
-                                      &InlineImpl<D>::destroy};
+                                      &InlineImpl<D>::destroy,
+                                      copyOp<D, InlineImpl<D>>};
 
     template <typename D>
     static constexpr Ops heapOps = {&HeapImpl<D>::invoke,
                                     &HeapImpl<D>::relocate,
-                                    &HeapImpl<D>::destroy};
+                                    &HeapImpl<D>::destroy,
+                                    copyOp<D, HeapImpl<D>>};
 
     void
     moveFrom(SmallFn &o) noexcept

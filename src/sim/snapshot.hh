@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Warm-state snapshot/fork: capture every registered component's
+ * mutable state into an immutable Snapshot, then fork any number of
+ * runs from it by restoring that state back into the same object
+ * graph (DESIGN.md, "Warm-state snapshot/fork").
+ *
+ * The design is restore-in-place: component objects stay at their
+ * original addresses for the lifetime of the experiment, and only
+ * their mutable state is copied out and back in. Event handlers and
+ * callbacks capture `this` pointers freely — those pointers remain
+ * valid across a fork because the objects they refer to are never
+ * moved, so the handler-rebinding contract is the identity map. What
+ * every component must guarantee instead is that its Saved struct
+ * covers ALL behaviour-affecting mutable state: anything missed leaks
+ * one fork's history into the next and shows up as a byte diff in the
+ * determinism tests.
+ */
+
+#ifndef PERFORMA_SIM_SNAPSHOT_HH
+#define PERFORMA_SIM_SNAPSHOT_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace performa::sim {
+
+class SnapshotRegistry;
+
+/**
+ * An immutable capture of one registry's component states, in
+ * registration order. Opaque outside the registry that produced it;
+ * holding one keeps the captured state (including any refcounted
+ * payload handles inside cloned handlers/queues) alive, so a Snapshot
+ * must not outlive the Simulation whose payload pool backs it.
+ */
+class Snapshot
+{
+  public:
+    Snapshot() = default;
+
+    /** @return true if no state has been captured. */
+    bool empty() const { return states_.empty(); }
+
+    /** Number of captured component states. */
+    std::size_t size() const { return states_.size(); }
+
+  private:
+    friend class SnapshotRegistry;
+
+    std::vector<std::shared_ptr<const void>> states_;
+};
+
+/**
+ * The ordered list of save/restore hooks for one experiment's
+ * component graph. Components are attach()ed once, bottom-up
+ * (Simulation core first, then networks, nodes, protocol endpoints,
+ * servers, load generators); capture() and forkFrom() walk the hooks
+ * in that same order, so a component may rely on everything attached
+ * before it already being restored.
+ */
+class SnapshotRegistry
+{
+  public:
+    using SaveFn = std::function<std::shared_ptr<const void>()>;
+    using RestoreFn = std::function<void(const void *)>;
+
+    SnapshotRegistry() = default;
+    SnapshotRegistry(const SnapshotRegistry &) = delete;
+    SnapshotRegistry &operator=(const SnapshotRegistry &) = delete;
+
+    /** Register a raw save/restore hook pair. */
+    void
+    add(SaveFn save, RestoreFn restore)
+    {
+        hooks_.push_back(Hook{std::move(save), std::move(restore)});
+    }
+
+    /**
+     * Register a component exposing the Saved/save()/restore() trio:
+     * `C::Saved C::save() const` and `void C::restore(const C::Saved&)`.
+     * The component must outlive the registry's last forkFrom().
+     */
+    template <typename C>
+    void
+    attach(C &c)
+    {
+        add(
+            [&c]() -> std::shared_ptr<const void> {
+                return std::make_shared<const typename C::Saved>(c.save());
+            },
+            [&c](const void *s) {
+                c.restore(*static_cast<const typename C::Saved *>(s));
+            });
+    }
+
+    /** Number of registered hooks (a Snapshot only fits a registry
+     *  with the same registration sequence). */
+    std::size_t size() const { return hooks_.size(); }
+
+    /** Capture every component's state, in registration order. */
+    Snapshot
+    capture() const
+    {
+        Snapshot snap;
+        snap.states_.reserve(hooks_.size());
+        for (const Hook &h : hooks_)
+            snap.states_.push_back(h.save());
+        return snap;
+    }
+
+    /**
+     * Restore every component to @p snap, in registration order. The
+     * snapshot must have been captured by a registry with the same
+     * components attached in the same order.
+     */
+    void
+    forkFrom(const Snapshot &snap) const
+    {
+        if (snap.states_.size() != hooks_.size())
+            PANIC("snapshot/registry mismatch: ", snap.states_.size(),
+                  " captured states vs ", hooks_.size(), " hooks");
+        for (std::size_t i = 0; i < hooks_.size(); ++i)
+            hooks_[i].restore(snap.states_[i].get());
+    }
+
+  private:
+    struct Hook
+    {
+        SaveFn save;
+        RestoreFn restore;
+    };
+
+    std::vector<Hook> hooks_;
+};
+
+} // namespace performa::sim
+
+#endif // PERFORMA_SIM_SNAPSHOT_HH

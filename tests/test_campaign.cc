@@ -179,29 +179,34 @@ TEST(Runner, ProgressStreamsDoneTotalAndLabels)
 TEST(Seeds, PureFunctionOfIdentityNotOrder)
 {
     auto grid = fullGrid();
-    // Canonical seeds, derived in grid order.
+    // Canonical seeds, derived in grid order. Since scheme v2 the
+    // fault kind does not participate: every fault of a combination
+    // shares the seed (and thus the warm-up phase).
     std::map<exp::BehaviorDb::Key, std::uint64_t> canonical;
     for (auto [v, k] : grid)
-        canonical[{v, k}] = campaign::phase1Seed(42, v, k);
+        canonical[{v, k}] = campaign::phase1Seed(42, v);
 
     // Re-derive after shuffling the evaluation order: identical.
     std::mt19937 shuffler(7);
     std::shuffle(grid.begin(), grid.end(), shuffler);
     for (auto [v, k] : grid)
-        EXPECT_EQ(campaign::phase1Seed(42, v, k), (canonical[{v, k}]));
+        EXPECT_EQ(campaign::phase1Seed(42, v), (canonical[{v, k}]));
 
-    // All grid points draw distinct seeds.
+    // Distinct seeds per version; identical across a version's faults.
     std::set<std::uint64_t> uniq;
     for (auto &[key, seed] : canonical)
         uniq.insert(seed);
-    EXPECT_EQ(uniq.size(), canonical.size());
+    EXPECT_EQ(uniq.size(), std::size(press::allVersions));
 
     // Campaign seed, cluster size and load scale all separate seeds.
-    auto [v0, k0] = grid.front();
-    std::uint64_t base = campaign::phase1Seed(42, v0, k0);
-    EXPECT_NE(base, campaign::phase1Seed(43, v0, k0));
-    EXPECT_NE(base, campaign::phase1Seed(42, v0, k0, 8));
-    EXPECT_NE(base, campaign::phase1Seed(42, v0, k0, 4, 1.25));
+    press::Version v0 = grid.front().first;
+    std::uint64_t base = campaign::phase1Seed(42, v0);
+    EXPECT_NE(base, campaign::phase1Seed(43, v0));
+    EXPECT_NE(base, campaign::phase1Seed(42, v0, 8));
+    EXPECT_NE(base, campaign::phase1Seed(42, v0, 4, 1.25));
+    // A named non-default profile separates too; "steady" doesn't.
+    EXPECT_NE(base, campaign::phase1Seed(42, v0, 4, 1.0, "flashcrowd"));
+    EXPECT_EQ(base, campaign::phase1Seed(42, v0, 4, 1.0, "steady"));
 }
 
 TEST(Seeds, StableAcrossShuffledSubmissionOrder)
@@ -218,7 +223,7 @@ TEST(Seeds, StableAcrossShuffledSubmissionOrder)
     for (auto [v, k] : grid) {
         campaign::Job j;
         j.label = "x";
-        j.seed = campaign::phase1Seed(42, v, k);
+        j.seed = campaign::phase1Seed(42, v);
         j.tag = campaign::phase1Tag(v, k);
         j.work = [&mu, &seenByTag](const campaign::Job &self) {
             std::lock_guard<std::mutex> lk(mu);
@@ -232,7 +237,8 @@ TEST(Seeds, StableAcrossShuffledSubmissionOrder)
     ASSERT_EQ(seenByTag.size(), grid.size());
     for (auto &[tag, seed] : seenByTag) {
         auto [v, k] = campaign::phase1TagKey(tag);
-        EXPECT_EQ(seed, campaign::phase1Seed(42, v, k));
+        (void)k; // seeds are per-version since scheme v2
+        EXPECT_EQ(seed, campaign::phase1Seed(42, v));
     }
 }
 
@@ -271,9 +277,11 @@ TEST(Phase1, FailedJobReportedWhileRestOfCampaignCompletes)
     opts.workers = 4;
     press::Version badV = press::Version::ViaPress3;
     fault::FaultKind badK = fault::FaultKind::NodeCrash;
-    std::uint64_t badSeed = campaign::phase1Seed(42, badV, badK);
-    opts.measureFn = [badSeed](const exp::ExperimentConfig &cfg) {
-        if (cfg.seed == badSeed)
+    opts.measureFn = [badV, badK](const exp::ExperimentConfig &cfg) {
+        // The seed no longer identifies the grid point (it is shared
+        // across a version's faults), so match on the config itself.
+        if (cfg.cluster.press.version == badV &&
+            cfg.fault && cfg.fault->kind == badK)
             throw std::runtime_error("simulated job crash");
         return fakeBehavior(cfg.seed);
     };
@@ -319,6 +327,72 @@ TEST(Phase1, SecondRunUsesCacheAndMeasuresNothing)
     // No temp file left behind by the atomic save.
     std::ifstream tmp(path + ".tmp");
     EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(Phase1, CacheWithDifferentFingerprintIsRejectedAndRemeasured)
+{
+    // A cache written for one grid geometry must not satisfy a
+    // campaign over another: the fingerprint header names the
+    // seed-scheme version and the (nodes, scale, profile, slo) axes,
+    // and a mismatch re-measures everything.
+    std::string path = tmpPath("campaign_fingerprint.csv");
+    std::remove(path.c_str());
+    campaign::Phase1Options opts;
+    opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+        return fakeBehavior(cfg.seed);
+    };
+    exp::BehaviorDb seeded;
+    campaign::ensurePhase1(seeded, path, opts);
+    EXPECT_NE(slurp(path).find("# fingerprint: "), std::string::npos);
+
+    campaign::Phase1Options scaled = opts;
+    scaled.loadScale = 2.0;
+    ASSERT_NE(campaign::phase1Fingerprint(scaled),
+              campaign::phase1Fingerprint(opts));
+    exp::BehaviorDb db;
+    campaign::Phase1Result res =
+        campaign::ensurePhase1(db, path, scaled);
+    EXPECT_EQ(res.cached, 0u);
+    EXPECT_EQ(res.measured, fullGrid().size());
+
+    // The re-save stamped the new fingerprint: a second scaled run is
+    // now fully cached.
+    exp::BehaviorDb again;
+    campaign::Phase1Result r2 =
+        campaign::ensurePhase1(again, path, scaled);
+    EXPECT_EQ(r2.cached, fullGrid().size());
+    EXPECT_EQ(r2.measured, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Phase1, LegacyCacheWithoutFingerprintIsRejected)
+{
+    // Pre-fingerprint cache files (no header comment) predate seed
+    // scheme v2 and must be re-measured, not trusted.
+    std::string path = tmpPath("campaign_legacy.csv");
+    std::remove(path.c_str());
+    campaign::Phase1Options opts;
+    opts.measureFn = [](const exp::ExperimentConfig &cfg) {
+        return fakeBehavior(cfg.seed);
+    };
+    exp::BehaviorDb seeded;
+    campaign::ensurePhase1(seeded, path, opts);
+
+    // Strip the fingerprint line, leaving a valid legacy-format CSV.
+    std::string body = slurp(path);
+    std::size_t eol = body.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    ASSERT_EQ(body.rfind("# fingerprint: ", 0), 0u);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << body.substr(eol + 1);
+    }
+
+    exp::BehaviorDb db;
+    campaign::Phase1Result res = campaign::ensurePhase1(db, path, opts);
+    EXPECT_EQ(res.cached, 0u);
+    EXPECT_EQ(res.measured, fullGrid().size());
     std::remove(path.c_str());
 }
 

@@ -264,18 +264,16 @@ TEST(ExtractionSlo, NoSloRequestedLeavesLatencyAbsent)
 // Seed contract of the profile axis
 // ---------------------------------------------------------------------
 
-TEST(ProfileSeeds, DefaultProfileKeepsHistoricalSeeds)
+TEST(ProfileSeeds, DefaultProfileKeepsCombinationSeeds)
 {
     using campaign::phase1Seed;
     auto v = press::Version::ViaPress3;
-    auto k = fault::FaultKind::NodeCrash;
-    EXPECT_EQ(phase1Seed(42, v, k), phase1Seed(42, v, k, 4, 1.0, ""));
-    EXPECT_EQ(phase1Seed(42, v, k),
-              phase1Seed(42, v, k, 4, 1.0, "steady"));
-    EXPECT_NE(phase1Seed(42, v, k),
-              phase1Seed(42, v, k, 4, 1.0, "flashcrowd"));
-    EXPECT_NE(phase1Seed(42, v, k, 4, 1.0, "flashcrowd"),
-              phase1Seed(42, v, k, 4, 1.0, "sessions"));
+    EXPECT_EQ(phase1Seed(42, v), phase1Seed(42, v, 4, 1.0, ""));
+    EXPECT_EQ(phase1Seed(42, v), phase1Seed(42, v, 4, 1.0, "steady"));
+    EXPECT_NE(phase1Seed(42, v),
+              phase1Seed(42, v, 4, 1.0, "flashcrowd"));
+    EXPECT_NE(phase1Seed(42, v, 4, 1.0, "flashcrowd"),
+              phase1Seed(42, v, 4, 1.0, "sessions"));
 }
 
 TEST(ProfileSeeds, ProfileEntersTheConfigButSloDoesNot)
